@@ -1,0 +1,75 @@
+//! Criterion benches behind Fig. 2: model inference and training
+//! latency across future-prediction counts, batch sizes, thread
+//! counts, and quantization — LSTM vs. Hebbian.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hnp_hebbian::{HebbianConfig, HebbianNetwork};
+use hnp_nn::quant::QuantizedLstm;
+use hnp_nn::{LstmConfig, LstmNetwork};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2a_inference");
+    for steps in [1usize, 2, 4, 8] {
+        let mut lstm = LstmNetwork::new(LstmConfig::paper_table2());
+        lstm.train_step(1, 2);
+        group.bench_with_input(BenchmarkId::new("lstm-fp32", steps), &steps, |b, &s| {
+            b.iter(|| std::hint::black_box(lstm.rollout(1, s)))
+        });
+        let q = QuantizedLstm::from_network(&lstm);
+        group.bench_with_input(BenchmarkId::new("lstm-int8", steps), &steps, |b, &s| {
+            b.iter(|| std::hint::black_box(q.rollout(1, s)))
+        });
+        let mut heb = HebbianNetwork::new(HebbianConfig::paper_table2());
+        for i in 0..64u32 {
+            heb.train_step(&[i % 64], ((i + 1) % 64) as usize);
+        }
+        group.bench_with_input(BenchmarkId::new("hebbian-int", steps), &steps, |b, &s| {
+            b.iter(|| std::hint::black_box(heb.rollout(&[1], s, |t| vec![(t % 128) as u32])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2a_threads");
+    for threads in [1usize, 2] {
+        let mut net = LstmNetwork::new(LstmConfig {
+            threads,
+            ..LstmConfig::paper_table2()
+        });
+        net.train_step(1, 2);
+        group.bench_with_input(
+            BenchmarkId::new("lstm-fp32-rollout1", threads),
+            &threads,
+            |b, _| b.iter(|| std::hint::black_box(net.rollout(1, 1))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2b_training");
+    group.sample_size(20);
+    for batch in [1usize, 8, 32] {
+        let mut lstm = LstmNetwork::new(LstmConfig::paper_table2());
+        let examples: Vec<(Vec<usize>, usize)> = (0..batch)
+            .map(|i| (vec![i % 50, (i + 1) % 50], (i + 2) % 50))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("lstm-fp32", batch), &batch, |b, _| {
+            b.iter(|| std::hint::black_box(lstm.train_batch(&examples, 0.05)))
+        });
+    }
+    let mut heb = HebbianNetwork::new(HebbianConfig::paper_table2());
+    let mut k = 0u32;
+    group.bench_function("hebbian-int/1", |b| {
+        b.iter(|| {
+            k = (k + 1) % 64;
+            std::hint::black_box(heb.train_step(&[k], ((k + 1) % 64) as usize))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_threads, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Experiment output: printed tables plus JSON artifacts.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Where JSON experiment artifacts are written.
+pub fn experiments_dir() -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
+    PathBuf::from(base).join("experiments")
+}
+
+/// Serializes `value` to `target/experiments/<id>.json`. Prints the
+/// path on success; experiment binaries must not fail just because the
+/// artifact directory is unwritable, so errors are reported and
+/// swallowed.
+pub fn write_json<T: Serialize>(id: &str, value: &T) {
+    let dir = experiments_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => match fs::write(&path, s) {
+            Ok(()) => println!("[artifact] {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+    }
+}
+
+/// Prints a rule-of-dashes header for a table.
+pub fn header(title: &str) {
+    println!();
+    println!("== {title} ==");
+}
+
+/// Reads a `usize` from argv position `i` (after the binary name) or
+/// an environment variable, falling back to `default`.
+pub fn arg_or(i: usize, env: &str, default: usize) -> usize {
+    if let Some(v) = std::env::args().nth(i) {
+        if let Ok(n) = v.parse() {
+            return n;
+        }
+    }
+    if let Ok(v) = std::env::var(env) {
+        if let Ok(n) = v.parse() {
+            return n;
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_json_creates_artifact() {
+        #[derive(Serialize)]
+        struct T {
+            x: u32,
+        }
+        write_json("unit-test-artifact", &T { x: 7 });
+        let path = experiments_dir().join("unit-test-artifact.json");
+        let text = std::fs::read_to_string(&path).expect("artifact written");
+        assert!(text.contains("\"x\": 7"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn arg_or_falls_back_to_default() {
+        assert_eq!(arg_or(99, "HNP_UNSET_ENV_VAR", 42), 42);
+    }
+}

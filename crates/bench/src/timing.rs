@@ -1,0 +1,47 @@
+//! Wall-clock micro-timing for the Fig.-2 latency harness.
+
+use std::time::Instant;
+
+/// Times `f` over `iters` calls after `warmup` calls; returns mean
+/// nanoseconds per call.
+///
+/// # Panics
+///
+/// Panics if `iters == 0`.
+pub fn time_ns(warmup: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    assert!(iters > 0, "need at least one iteration");
+    for _ in 0..warmup {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Formats nanoseconds as a human-readable microsecond string.
+pub fn fmt_us(ns: f64) -> String {
+    format!("{:9.2} us", ns / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_scales_with_work() {
+        let cheap = time_ns(2, 50, || {
+            std::hint::black_box((0..10u64).sum::<u64>());
+        });
+        let costly = time_ns(2, 50, || {
+            std::hint::black_box((0..100_000u64).sum::<u64>());
+        });
+        assert!(costly > cheap, "costly {costly} vs cheap {cheap}");
+    }
+
+    #[test]
+    fn fmt_us_renders_microseconds() {
+        assert!(fmt_us(1500.0).contains("1.50 us"));
+    }
+}

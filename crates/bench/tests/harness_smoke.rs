@@ -1,0 +1,69 @@
+//! Smoke tests: every lightweight experiment harness must run to
+//! completion with tiny parameters and produce its JSON artifact.
+//! (The trace-heavy harnesses — fig3/fig5/sys_* — are exercised via
+//! the `hnp-bench` library tests instead; running them as processes
+//! at debug-build speed would dominate CI time.)
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .env("CARGO_TARGET_DIR", std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .output()
+        .unwrap_or_else(|e| panic!("cannot launch {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn table1_runs_and_lists_all_patterns() {
+    let out = run(env!("CARGO_BIN_EXE_table1_patterns"), &["200"]);
+    for name in [
+        "stride",
+        "pointer-chase",
+        "indirect-stride",
+        "indirect-index",
+        "pointer-offset",
+    ] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+    assert!(out.contains("[artifact]"));
+}
+
+#[test]
+fn table2_reports_both_models_and_ratios() {
+    let out = run(env!("CARGO_BIN_EXE_table2_resources"), &[]);
+    assert!(out.contains("LSTM"));
+    assert!(out.contains("Hebbian"));
+    assert!(out.contains("ratios:"));
+}
+
+#[test]
+fn fig2_reports_latency_rows() {
+    let out = run(env!("CARGO_BIN_EXE_fig2_latency"), &["2"]);
+    assert!(out.contains("lstm-fp32-1t"));
+    assert!(out.contains("lstm-int8-1t"));
+    assert!(out.contains("hebbian-int-1t"));
+    assert!(out.contains("transformer-fp32-1t"));
+    assert!(out.contains("lstm-fp32-fused"));
+}
+
+#[test]
+fn availability_reports_protocol_and_agreement() {
+    let out = run(env!("CARGO_BIN_EXE_availability"), &["600"]);
+    assert!(out.contains("redeployments"));
+    assert!(out.contains("agreement"));
+}
+
+#[test]
+fn interleaving_reports_all_conditions() {
+    let out = run(env!("CARGO_BIN_EXE_interleaving"), &["100"]);
+    assert!(out.contains("sequential"));
+    assert!(out.contains("interleave-1"));
+    assert!(out.contains("interleave-16"));
+}

@@ -1,0 +1,119 @@
+//! A minimal `--key value` argument parser (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and
+/// `--key value` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// `--key value` pairs (keys without the dashes).
+    pub options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses an argument iterator (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a `--key` is missing its value or no
+    /// subcommand is present.
+    pub fn parse(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let mut command = None;
+        let mut positional = Vec::new();
+        let mut options = HashMap::new();
+        let mut iter = argv.peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{key} requires a value"))?;
+                options.insert(key.to_string(), value);
+            } else if command.is_none() {
+                command = Some(a);
+            } else {
+                positional.push(a);
+            }
+        }
+        Ok(Args {
+            command: command.ok_or("no subcommand given")?,
+            positional,
+            options,
+        })
+    }
+
+    /// An option as a string, with a default.
+    pub fn get<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A numeric option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// A required option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when missing.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("--{key} is required"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_options_and_positionals() {
+        let a = parse("sim trace.hnpt --prefetcher cls --seed 7").unwrap();
+        assert_eq!(a.command, "sim");
+        assert_eq!(a.positional, vec!["trace.hnpt"]);
+        assert_eq!(a.get("prefetcher", "x"), "cls");
+        assert_eq!(a.get_num::<u64>("seed", 0).unwrap(), 7);
+        assert_eq!(a.get_num::<u64>("missing", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse("sim --prefetcher").is_err());
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse("sim --seed banana").unwrap();
+        assert!(a.get_num::<u64>("seed", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_the_key() {
+        let a = parse("sim").unwrap();
+        assert!(a.require("trace").unwrap_err().contains("--trace"));
+    }
+}

@@ -1,0 +1,258 @@
+//! `hnpctl` — the HNP command line.
+//!
+//! ```text
+//! hnpctl trace-gen  --workload pagerank --accesses 100000 --seed 1 --out t.hnpt
+//! hnpctl trace-stats --trace t.hnpt
+//! hnpctl sim        --trace t.hnpt --prefetcher cls-hebbian [--capacity-frac 0.5]
+//! hnpctl compare    --trace t.hnpt [--capacity-frac 0.5]
+//! hnpctl patterns   [--accesses 1000]
+//! ```
+//!
+//! Workloads: `tensorflow`, `pagerank`, `mcf`, `graph500`, `kv-store`,
+//! or any Table-1 pattern (`stride`, `pointer-chase`, `indirect-stride`,
+//! `indirect-index`, `pointer-offset`).
+//! Prefetchers: `none`, `stride`, `markov`, `next-n`, `lstm`,
+//! `transformer`, `hebbian`, `cls-hebbian`.
+
+mod args;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use args::Args;
+use hnp_baselines::{
+    LstmPrefetcher, LstmPrefetcherConfig, MarkovPrefetcher, NextNPrefetcher, StridePrefetcher,
+    TransformerPrefetcher, TransformerPrefetcherConfig,
+};
+use hnp_core::{ClsConfig, ClsPrefetcher};
+use hnp_memsim::{NoPrefetcher, Prefetcher, SimConfig, Simulator};
+use hnp_trace::apps::AppWorkload;
+use hnp_trace::stats::TraceStats;
+use hnp_trace::{io, Pattern, Trace};
+
+const USAGE: &str = "usage: hnpctl <trace-gen|trace-stats|sim|compare|patterns> [--key value ...]
+  trace-gen   --workload NAME --accesses N [--seed S] --out FILE
+  trace-stats --trace FILE
+  sim         --trace FILE --prefetcher NAME [--capacity-frac F] [--seed S] [--json true]
+  compare     --trace FILE [--capacity-frac F] [--seed S]
+  patterns    [--accesses N]";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "trace-gen" => cmd_trace_gen(&args),
+        "trace-stats" => cmd_trace_stats(&args),
+        "sim" => cmd_sim(&args),
+        "compare" => cmd_compare(&args),
+        "patterns" => cmd_patterns(&args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds a workload by name.
+fn workload(name: &str, accesses: usize, seed: u64) -> Result<Trace, String> {
+    let app = match name {
+        "tensorflow" => Some(AppWorkload::TensorFlowLike),
+        "pagerank" => Some(AppWorkload::PageRankLike),
+        "mcf" => Some(AppWorkload::McfLike),
+        "graph500" => Some(AppWorkload::Graph500Like),
+        "kv-store" => Some(AppWorkload::KvStoreLike),
+        _ => None,
+    };
+    if let Some(app) = app {
+        return Ok(app.generate(accesses, seed));
+    }
+    let pattern = Pattern::ALL
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| format!("unknown workload {name:?}"))?;
+    Ok(pattern.generate(accesses, seed))
+}
+
+/// Builds a prefetcher by name.
+fn prefetcher(name: &str, seed: u64) -> Result<Box<dyn Prefetcher>, String> {
+    Ok(match name {
+        "none" => Box::new(NoPrefetcher),
+        "stride" => Box::new(StridePrefetcher::new(2, 4)),
+        "markov" => Box::new(MarkovPrefetcher::new(4096, 2)),
+        "next-n" => Box::new(NextNPrefetcher::new(4)),
+        "lstm" => Box::new(LstmPrefetcher::new(LstmPrefetcherConfig {
+            seed,
+            ..LstmPrefetcherConfig::default()
+        })),
+        "transformer" => Box::new(TransformerPrefetcher::new(TransformerPrefetcherConfig {
+            seed,
+            ..TransformerPrefetcherConfig::default()
+        })),
+        "hebbian" => Box::new(ClsPrefetcher::new(ClsConfig {
+            seed,
+            ..ClsConfig::hebbian_only()
+        })),
+        "cls-hebbian" => Box::new(ClsPrefetcher::new(ClsConfig {
+            seed,
+            ..ClsConfig::default()
+        })),
+        other => return Err(format!("unknown prefetcher {other:?}")),
+    })
+}
+
+fn load_trace(args: &Args) -> Result<Trace, String> {
+    // `--trace FILE`, or the first positional argument.
+    let path = match args.options.get("trace") {
+        Some(p) => p.as_str(),
+        None => args
+            .positional
+            .first()
+            .map(String::as_str)
+            .ok_or("--trace FILE (or a positional path) is required")?,
+    };
+    io::read_binary(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn sim_for(trace: &Trace, args: &Args) -> Result<Simulator, String> {
+    let frac: f64 = args.get_num("capacity-frac", 0.5)?;
+    if !(0.0..=1.0).contains(&frac) || frac == 0.0 {
+        return Err("--capacity-frac must be in (0, 1]".into());
+    }
+    Ok(Simulator::new(SimConfig::sized_for(
+        trace,
+        frac,
+        SimConfig::default(),
+    )))
+}
+
+fn cmd_trace_gen(args: &Args) -> Result<(), String> {
+    let name = args.require("workload")?;
+    let accesses: usize = args.get_num("accesses", 100_000)?;
+    let seed: u64 = args.get_num("seed", 1)?;
+    let out = args.require("out")?;
+    let trace = workload(name, accesses, seed)?;
+    io::write_binary(&trace, Path::new(out)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} accesses, {} pages footprint",
+        trace.len(),
+        trace.footprint_pages()
+    );
+    Ok(())
+}
+
+fn cmd_trace_stats(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let s = TraceStats::compute(&trace);
+    println!("accesses:        {}", s.len);
+    println!("footprint pages: {}", s.footprint_pages);
+    println!("unique deltas:   {}", s.unique_deltas);
+    println!("delta entropy:   {:.2} bits", s.delta_entropy_bits);
+    for k in [1usize, 4, 16, 64] {
+        println!("top-{k:<3} coverage: {:.3}", s.top_delta_coverage(k));
+    }
+    println!("top deltas:      {:?}", s.top_deltas(8));
+    Ok(())
+}
+
+fn cmd_sim(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let seed: u64 = args.get_num("seed", 1)?;
+    let name = args.get("prefetcher", "cls-hebbian");
+    let sim = sim_for(&trace, args)?;
+    let base = sim.run(&trace, &mut NoPrefetcher);
+    let mut p = prefetcher(name, seed)?;
+    let rep = sim.run(&trace, p.as_mut());
+    if args.get("json", "false") == "true" {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rep).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("prefetcher:      {}", rep.prefetcher);
+    println!("capacity:        {} pages", sim.config().capacity_pages);
+    println!(
+        "baseline misses: {} ({:.1}% miss rate)",
+        base.misses(),
+        100.0 * base.miss_rate()
+    );
+    println!(
+        "misses:          {} ({:.1}% miss rate)",
+        rep.misses(),
+        100.0 * rep.miss_rate()
+    );
+    println!("misses removed:  {:.1}%", rep.pct_misses_removed(&base));
+    println!(
+        "prefetches:      {} issued, {} useful (accuracy {:.2}), {} unused",
+        rep.prefetches_issued,
+        rep.prefetches_useful,
+        rep.accuracy(),
+        rep.prefetches_unused
+    );
+    println!(
+        "latency:         {:.1} -> {:.1} avg ticks/access",
+        base.avg_access_ticks(),
+        rep.avg_access_ticks()
+    );
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let trace = load_trace(args)?;
+    let seed: u64 = args.get_num("seed", 1)?;
+    let sim = sim_for(&trace, args)?;
+    let base = sim.run(&trace, &mut NoPrefetcher);
+    println!(
+        "{:<14} {:>10} {:>10} {:>9}",
+        "prefetcher", "removed%", "issued", "accuracy"
+    );
+    for name in [
+        "stride",
+        "markov",
+        "next-n",
+        "lstm",
+        "transformer",
+        "hebbian",
+        "cls-hebbian",
+    ] {
+        let mut p = prefetcher(name, seed)?;
+        let rep = sim.run(&trace, p.as_mut());
+        println!(
+            "{:<14} {:>9.1}% {:>10} {:>9.2}",
+            name,
+            rep.pct_misses_removed(&base),
+            rep.prefetches_issued,
+            rep.accuracy()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_patterns(args: &Args) -> Result<(), String> {
+    let accesses: usize = args.get_num("accesses", 1000)?;
+    println!(
+        "{:<16} {:>8} {:>9} {:>10}",
+        "pattern", "deltas", "entropy", "footprint"
+    );
+    for p in Pattern::ALL {
+        let t = p.generate(accesses, 42);
+        let s = TraceStats::compute(&t);
+        println!(
+            "{:<16} {:>8} {:>9.2} {:>10}",
+            p.name(),
+            s.unique_deltas,
+            s.delta_entropy_bits,
+            s.footprint_pages
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,206 @@
+//! Feedback-driven geometry adaptation (§5.2).
+//!
+//! "Configuring the prefetch length, width, and the access history
+//! will require intelligent co-design." This controller closes the
+//! loop: prefetch-outcome feedback ([`PrefetchFeedback`]) steers the
+//! width (accuracy budget) and lookahead (timeliness budget) online.
+//!
+//! * Width: grow while accuracy (useful / (useful + unused)) is high —
+//!   bandwidth is being converted into coverage; shrink when accuracy
+//!   drops — the §5.2 "highly selective" regime.
+//! * Lookahead: grow while prefetches keep arriving *late* (the model
+//!   is right but not early enough — exactly the paper's "predict a
+//!   sequence of misses further into the future"); shrink back when
+//!   nothing is late.
+//!
+//! [`PrefetchFeedback`]: hnp_memsim::prefetcher::PrefetchFeedback
+
+use hnp_memsim::prefetcher::PrefetchFeedback;
+
+/// Controller parameters.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Inclusive width bounds.
+    pub width_range: (usize, usize),
+    /// Inclusive lookahead bounds.
+    pub lookahead_range: (usize, usize),
+    /// Feedback events per adaptation decision.
+    pub period: u32,
+    /// Grow width above this accuracy.
+    pub grow_accuracy: f64,
+    /// Shrink width below this accuracy.
+    pub shrink_accuracy: f64,
+    /// Grow lookahead above this late fraction.
+    pub late_fraction: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            width_range: (1, 4),
+            lookahead_range: (1, 8),
+            period: 256,
+            grow_accuracy: 0.75,
+            shrink_accuracy: 0.4,
+            late_fraction: 0.25,
+        }
+    }
+}
+
+/// The online width/lookahead controller.
+#[derive(Debug, Clone)]
+pub struct AdaptiveGeometry {
+    cfg: AdaptiveConfig,
+    width: usize,
+    lookahead: usize,
+    useful: u32,
+    unused: u32,
+    late: u32,
+    seen: u32,
+    /// Total adaptation decisions taken (reporting).
+    pub adaptations: u64,
+}
+
+impl AdaptiveGeometry {
+    /// Starts at the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the start point is outside the configured ranges.
+    pub fn new(cfg: AdaptiveConfig, width: usize, lookahead: usize) -> Self {
+        assert!(
+            (cfg.width_range.0..=cfg.width_range.1).contains(&width),
+            "start width out of range"
+        );
+        assert!(
+            (cfg.lookahead_range.0..=cfg.lookahead_range.1).contains(&lookahead),
+            "start lookahead out of range"
+        );
+        Self {
+            cfg,
+            width,
+            lookahead,
+            useful: 0,
+            unused: 0,
+            late: 0,
+            seen: 0,
+            adaptations: 0,
+        }
+    }
+
+    /// Current prefetch width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Current lookahead.
+    pub fn lookahead(&self) -> usize {
+        self.lookahead
+    }
+
+    /// Consumes one feedback event; adapts every `period` events.
+    pub fn on_feedback(&mut self, feedback: &PrefetchFeedback) {
+        match feedback {
+            PrefetchFeedback::Useful { .. } => self.useful += 1,
+            PrefetchFeedback::Unused { .. } => self.unused += 1,
+            PrefetchFeedback::Late { .. } => self.late += 1,
+        }
+        self.seen += 1;
+        if self.seen < self.cfg.period {
+            return;
+        }
+        let covered = self.useful + self.unused;
+        if covered > 0 {
+            let accuracy = self.useful as f64 / covered as f64;
+            if accuracy >= self.cfg.grow_accuracy && self.width < self.cfg.width_range.1 {
+                self.width += 1;
+            } else if accuracy <= self.cfg.shrink_accuracy && self.width > self.cfg.width_range.0 {
+                self.width -= 1;
+            }
+        }
+        let timed = self.useful + self.late;
+        if timed > 0 {
+            let late_frac = self.late as f64 / timed as f64;
+            if late_frac >= self.cfg.late_fraction && self.lookahead < self.cfg.lookahead_range.1 {
+                self.lookahead += 1;
+            } else if late_frac < self.cfg.late_fraction / 4.0
+                && self.lookahead > self.cfg.lookahead_range.0
+            {
+                self.lookahead -= 1;
+            }
+        }
+        self.useful = 0;
+        self.unused = 0;
+        self.late = 0;
+        self.seen = 0;
+        self.adaptations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            period: 10,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    fn feed(g: &mut AdaptiveGeometry, useful: u32, unused: u32, late: u32) {
+        for _ in 0..useful {
+            g.on_feedback(&PrefetchFeedback::Useful { page: 0 });
+        }
+        for _ in 0..unused {
+            g.on_feedback(&PrefetchFeedback::Unused { page: 0 });
+        }
+        for _ in 0..late {
+            g.on_feedback(&PrefetchFeedback::Late { page: 0, remaining: 1 });
+        }
+    }
+
+    #[test]
+    fn high_accuracy_grows_width() {
+        let mut g = AdaptiveGeometry::new(cfg(), 1, 1);
+        feed(&mut g, 10, 0, 0);
+        assert_eq!(g.width(), 2);
+        feed(&mut g, 10, 0, 0);
+        assert_eq!(g.width(), 3);
+    }
+
+    #[test]
+    fn low_accuracy_shrinks_width_to_the_floor() {
+        let mut g = AdaptiveGeometry::new(cfg(), 4, 1);
+        for _ in 0..5 {
+            feed(&mut g, 1, 9, 0);
+        }
+        assert_eq!(g.width(), 1, "clamped at the floor");
+    }
+
+    #[test]
+    fn lateness_grows_lookahead_and_recovery_shrinks_it() {
+        let mut g = AdaptiveGeometry::new(cfg(), 1, 1);
+        feed(&mut g, 5, 0, 5); // 50% late.
+        assert_eq!(g.lookahead(), 2);
+        feed(&mut g, 5, 0, 5);
+        assert_eq!(g.lookahead(), 3);
+        // All on time now: decays back.
+        feed(&mut g, 10, 0, 0);
+        assert_eq!(g.lookahead(), 2);
+    }
+
+    #[test]
+    fn no_feedback_no_adaptation() {
+        let mut g = AdaptiveGeometry::new(cfg(), 2, 2);
+        feed(&mut g, 3, 0, 0); // Below the period.
+        assert_eq!(g.width(), 2);
+        assert_eq!(g.adaptations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "start width out of range")]
+    fn bad_start_rejected() {
+        let _ = AdaptiveGeometry::new(cfg(), 9, 1);
+    }
+}

@@ -1,0 +1,609 @@
+//! The assembled CLS prefetcher.
+//!
+//! Wires the neocortex (slow Hebbian structure learner), hippocampus
+//! (fast episodic store), replay scheduler, training-instance sampler,
+//! and phase detector behind the [`hnp_memsim::Prefetcher`] interface,
+//! per the deployment in Fig. 1 of the paper: the prefetcher consumes
+//! the demand-miss stream and predicts future miss deltas.
+
+use std::collections::VecDeque;
+
+use hnp_memsim::deltas::{pages_from_rollout, DeltaVocab};
+use hnp_memsim::prefetcher::{MissEvent, Prefetcher};
+
+use crate::adaptive::{AdaptiveConfig, AdaptiveGeometry};
+use crate::confidence::ConfidenceTracker;
+use crate::encoder::{Encoder, EncoderKind};
+use crate::episodic::{
+    AssociativeConfig, AssociativeHippocampus, EpisodicBackend, EpisodicStore,
+};
+use crate::hippocampus::{CapacityPolicy, Hippocampus};
+use crate::neocortex::{Neocortex, NeocortexConfig};
+use crate::phase::{PhaseConfig, PhaseDetector};
+use crate::replay::{ReplayConfig, ReplayScheduler};
+use crate::sampler::{SampleDecision, SamplerState, TrainingSampler};
+
+/// Configuration of the full CLS prefetcher.
+#[derive(Debug, Clone)]
+pub struct ClsConfig {
+    /// Delta vocabulary half-range.
+    pub delta_range: i64,
+    /// Input encoding (§5.3).
+    pub encoder: EncoderKind,
+    /// Neocortex sizing.
+    pub neocortex: NeocortexConfig,
+    /// Prediction steps per miss (prefetch length, §5.2).
+    pub lookahead: usize,
+    /// Predictions per step (prefetch width, §5.2).
+    pub width: usize,
+    /// Replay configuration (§3.2, §5.4).
+    pub replay: ReplayConfig,
+    /// Training-instance selection (§5.1).
+    pub sampler: TrainingSampler,
+    /// Episodic-store backend (§5.4): the exact buffer with a
+    /// capacity policy, or the compressed associative store.
+    pub episodic: EpisodicBackend,
+    /// Phase detection (§5.4); `None` disables it.
+    pub phase: Option<PhaseConfig>,
+    /// Minimum first-step prediction confidence required to issue
+    /// prefetches (§5.2: "systems where the network is the bottleneck
+    /// require a prefetcher that is highly selective and confident").
+    /// Prevents an untrained or defeated model (OOV-dominated streams,
+    /// §5.3) from polluting memory with garbage prefetches.
+    pub min_confidence: f32,
+    /// Feedback-driven width/lookahead adaptation (§5.2 co-design);
+    /// `None` keeps the static geometry.
+    pub adaptive: Option<AdaptiveConfig>,
+    /// Track deltas and history per source stream (§4: a centralized
+    /// prefetcher "may require more processing to ensure that it can
+    /// isolate the individual access patterns in the combined access
+    /// streams"). One shared model still learns all streams; only the
+    /// miss-history bookkeeping is isolated. With `false`, interleaved
+    /// streams produce garbage cross-stream deltas.
+    pub stream_isolation: bool,
+    /// Seed for sampler/replay randomness.
+    pub seed: u64,
+}
+
+impl Default for ClsConfig {
+    fn default() -> Self {
+        Self {
+            delta_range: 64,
+            encoder: EncoderKind::OneHot,
+            neocortex: NeocortexConfig::default(),
+            lookahead: 2,
+            width: 2,
+            replay: ReplayConfig::default(),
+            sampler: TrainingSampler::EveryMiss,
+            episodic: EpisodicBackend::Exact(CapacityPolicy::Ring { capacity: 4096 }),
+            phase: Some(PhaseConfig::default()),
+            min_confidence: 0.03,
+            adaptive: None,
+            stream_isolation: true,
+            seed: 0xc15,
+        }
+    }
+}
+
+impl ClsConfig {
+    /// The paper's §3.1 configuration: miss history of one input (the
+    /// recurrent state carries the rest), training on every miss,
+    /// unbounded hippocampus.
+    pub fn paper() -> Self {
+        Self {
+            episodic: EpisodicBackend::Exact(CapacityPolicy::Unbounded),
+            ..Self::default()
+        }
+    }
+
+    /// A plain Hebbian prefetcher: no hippocampus, no replay (the
+    /// "Hebbian" series in Fig. 5 before replay is added).
+    pub fn hebbian_only() -> Self {
+        Self {
+            replay: ReplayConfig::off(),
+            episodic: EpisodicBackend::Exact(CapacityPolicy::Ring { capacity: 1 }),
+            phase: None,
+            ..Self::default()
+        }
+    }
+
+    /// A small, fast configuration for tests.
+    pub fn small() -> Self {
+        Self {
+            delta_range: 32,
+            neocortex: NeocortexConfig {
+                hidden: 256,
+                connectivity: 0.25,
+                hidden_active: 26,
+                recurrent_bits: 64,
+                recurrent_sample: 8,
+                ..NeocortexConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// The CLS prefetcher.
+pub struct ClsPrefetcher {
+    cfg: ClsConfig,
+    vocab: DeltaVocab,
+    encoder: Encoder,
+    cortex: Neocortex,
+    hippo: Box<dyn EpisodicStore>,
+    replay: ReplayScheduler,
+    sampler: SamplerState,
+    phase: Option<PhaseDetector>,
+    tracker: ConfidenceTracker,
+    adaptive: Option<AdaptiveGeometry>,
+    /// Per-stream miss-history contexts (all streams share key 0 when
+    /// stream isolation is off).
+    streams: std::collections::HashMap<u16, StreamCtx>,
+    batch_queue: Vec<(Vec<usize>, Vec<u32>, usize)>,
+    steps: u64,
+    name: String,
+}
+
+/// Per-stream delta-tracking state.
+#[derive(Debug, Default, Clone)]
+struct StreamCtx {
+    history: VecDeque<usize>,
+    last_page: Option<u64>,
+}
+
+impl ClsPrefetcher {
+    /// Builds the prefetcher from `cfg`.
+    pub fn new(cfg: ClsConfig) -> Self {
+        let vocab = DeltaVocab::new(cfg.delta_range);
+        let encoder = Encoder::new(cfg.encoder, vocab.len());
+        let cortex = Neocortex::new(&encoder, vocab.len(), &cfg.neocortex);
+        let hippo: Box<dyn EpisodicStore> = match cfg.episodic {
+            EpisodicBackend::Exact(policy) => Box::new(Hippocampus::new(policy)),
+            EpisodicBackend::Associative {
+                key_bits,
+                key_active,
+                reservoir,
+            } => Box::new(AssociativeHippocampus::new(AssociativeConfig {
+                key_bits,
+                key_active,
+                reservoir,
+                ..AssociativeConfig::sized(
+                    encoder.pattern_bits(),
+                    cfg.neocortex.recurrent_bits,
+                    vocab.len(),
+                )
+            })),
+        };
+        let name = if cfg.replay.enabled {
+            "cls-hebbian".to_string()
+        } else {
+            "hebbian".to_string()
+        };
+        Self {
+            vocab,
+            cortex,
+            hippo,
+            replay: ReplayScheduler::new(cfg.replay.clone()),
+            sampler: SamplerState::new(cfg.sampler, cfg.seed),
+            phase: cfg.phase.clone().map(|p| PhaseDetector::new(
+                DeltaVocab::new(cfg.delta_range).len(),
+                p,
+            )),
+            tracker: ConfidenceTracker::new(0.02, 256),
+            adaptive: cfg
+                .adaptive
+                .clone()
+                .map(|a| AdaptiveGeometry::new(a, cfg.width, cfg.lookahead)),
+            streams: std::collections::HashMap::new(),
+            batch_queue: Vec::new(),
+            steps: 0,
+            encoder,
+            cfg,
+            name,
+        }
+    }
+
+    /// Smoothed confidence on observed targets.
+    pub fn confidence(&self) -> f32 {
+        self.tracker.ema()
+    }
+
+    /// Rolling prediction accuracy.
+    pub fn accuracy(&self) -> f32 {
+        self.tracker.windowed_accuracy()
+    }
+
+    /// The episodic store (inspection).
+    pub fn episodic(&self) -> &dyn EpisodicStore {
+        self.hippo.as_ref()
+    }
+
+    /// Total replayed examples.
+    pub fn replayed(&self) -> u64 {
+        self.replay.replayed
+    }
+
+    /// Examples trained / skipped by the sampler.
+    pub fn sampler_stats(&self) -> (u64, u64) {
+        (self.sampler.trained, self.sampler.skipped)
+    }
+
+    /// Current phase id (0 when phase detection is off).
+    pub fn current_phase(&self) -> u64 {
+        self.phase.as_ref().map(|p| p.current_phase()).unwrap_or(0)
+    }
+
+    /// The neocortex (availability experiments swap its weights).
+    pub fn cortex_mut(&mut self) -> &mut Neocortex {
+        &mut self.cortex
+    }
+
+    /// The adaptive controller's current (width, lookahead), or the
+    /// static configuration when adaptation is off.
+    pub fn geometry(&self) -> (usize, usize) {
+        match &self.adaptive {
+            Some(a) => (a.width(), a.lookahead()),
+            None => (self.cfg.width, self.cfg.lookahead),
+        }
+    }
+
+    /// The last `window` tokens of a stream's history.
+    fn context_of(history: &VecDeque<usize>, window: usize) -> Vec<usize> {
+        let n = history.len();
+        history.iter().skip(n.saturating_sub(window)).copied().collect()
+    }
+
+    fn learn(&mut self, ctx: Vec<usize>, token: usize) {
+        if ctx.is_empty() {
+            return;
+        }
+        let pattern = self.encoder.encode(&ctx);
+        let phase = self.current_phase();
+        // Capture the pre-training recurrent context for the episode.
+        let recurrent = self.cortex.recurrent_state();
+        // Confidence-gated sampling needs *this example's* confidence,
+        // which costs one extra (non-advancing) inference — exactly
+        // the §5.1 trade: pay a cheap forward pass to skip expensive
+        // training on well-learned cases. Other samplers use the
+        // running EMA for free.
+        let gate_confidence =
+            if matches!(self.cfg.sampler, TrainingSampler::ConfidenceGated { .. }) {
+                self.cortex.network_mut().infer(&pattern, token).confidence
+            } else {
+                self.tracker.ema()
+            };
+        let decision = self.sampler.decide(gate_confidence);
+        let outcome = match decision {
+            SampleDecision::Train => self.cortex.train(&pattern, token),
+            SampleDecision::Skip => self.cortex.observe(&pattern, token),
+            SampleDecision::Enqueue => {
+                self.batch_queue.push((ctx.clone(), pattern.clone(), token));
+                let o = self.cortex.observe(&pattern, token);
+                if self.sampler.should_flush(self.batch_queue.len()) {
+                    let queued: Vec<_> = self.batch_queue.drain(..).collect();
+                    self.sampler.trained += queued.len() as u64;
+                    for (_, p, t) in &queued {
+                        self.cortex.train(p, *t);
+                    }
+                }
+                o
+            }
+        };
+        self.tracker.record(outcome.confidence, outcome.correct);
+        self.hippo.store_episode(crate::hippocampus::Episode {
+            history: ctx,
+            pattern,
+            recurrent,
+            target: token,
+            confidence: outcome.confidence,
+            stored_at: self.steps,
+            phase,
+            replays: 0,
+            weight: 1,
+        });
+        if decision == SampleDecision::Train {
+            self.replay.after_train(
+                &mut self.cortex,
+                self.hippo.as_mut(),
+                &self.encoder,
+                phase,
+            );
+        }
+    }
+}
+
+impl Prefetcher for ClsPrefetcher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_miss(&mut self, miss: &MissEvent) -> Vec<u64> {
+        self.steps += 1;
+        let key = if self.cfg.stream_isolation {
+            miss.stream
+        } else {
+            0
+        };
+        let window = self.encoder.window();
+        let stream = self.streams.entry(key).or_default();
+        let Some(last) = stream.last_page else {
+            stream.last_page = Some(miss.page);
+            return Vec::new();
+        };
+        let delta = miss.page as i64 - last as i64;
+        let token = self.vocab.token_of(delta);
+        stream.last_page = Some(miss.page);
+        // Learn the transition (context before this token -> token).
+        let ctx = Self::context_of(&stream.history, window);
+        // Advance the history now; `learn` borrows self mutably.
+        stream.history.push_back(token);
+        while stream.history.len() > window + 1 {
+            stream.history.pop_front();
+        }
+        let hist = Self::context_of(&self.streams[&key].history, window);
+        self.learn(ctx, token);
+        if let Some(pd) = &mut self.phase {
+            let _ = pd.observe(token);
+        }
+        // Predict forward from the full history including `token`;
+        // only issue when the model is confident enough (§5.2).
+        let (lookahead, width) = match &self.adaptive {
+            Some(a) => (a.lookahead(), a.width()),
+            None => (self.cfg.lookahead, self.cfg.width),
+        };
+        let (rollout, confidence) =
+            self.cortex
+                .predict_with_confidence(&hist, &self.encoder, lookahead, width);
+        if confidence < self.cfg.min_confidence {
+            return Vec::new();
+        }
+        pages_from_rollout(&self.vocab, miss.page, &rollout)
+    }
+
+    fn on_feedback(&mut self, feedback: &hnp_memsim::prefetcher::PrefetchFeedback) {
+        if let Some(a) = &mut self.adaptive {
+            a.on_feedback(feedback);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnp_memsim::{NoPrefetcher, SimConfig, Simulator};
+    use hnp_trace::{phased, Pattern};
+
+    fn sim() -> Simulator {
+        Simulator::new(SimConfig {
+            capacity_pages: 32,
+            miss_latency: 50,
+            prefetch_latency: 50,
+            max_issue_per_miss: 4,
+            ..SimConfig::default()
+        })
+    }
+
+    #[test]
+    fn learns_stride_and_removes_misses() {
+        let t = Pattern::Stride.generate(4000, 0);
+        let s = sim();
+        let base = s.run(&t, &mut NoPrefetcher);
+        let mut p = ClsPrefetcher::new(ClsConfig::small());
+        let rep = s.run(&t, &mut p);
+        assert!(
+            rep.pct_misses_removed(&base) > 30.0,
+            "removed {:.1}%",
+            rep.pct_misses_removed(&base)
+        );
+    }
+
+    #[test]
+    fn learns_pointer_chase() {
+        let t = Pattern::PointerChase.generate(6000, 1);
+        let s = sim();
+        let base = s.run(&t, &mut NoPrefetcher);
+        let mut p = ClsPrefetcher::new(ClsConfig::small());
+        let rep = s.run(&t, &mut p);
+        assert!(
+            rep.pct_misses_removed(&base) > 20.0,
+            "removed {:.1}%",
+            rep.pct_misses_removed(&base)
+        );
+    }
+
+    #[test]
+    fn replay_protects_old_phase_better_than_no_replay() {
+        // A-B-A phase trace: learn A, drift to B, return to A.
+        let t = phased::phases(
+            &[
+                (Pattern::PointerChase, 4000),
+                (Pattern::Stride, 4000),
+                (Pattern::PointerChase, 4000),
+            ],
+            7,
+        );
+        let s = sim();
+        let base = s.run(&t, &mut NoPrefetcher);
+        let mut with = ClsPrefetcher::new(ClsConfig {
+            replay: ReplayConfig {
+                per_step: 2,
+                ..ReplayConfig::default()
+            },
+            ..ClsConfig::small()
+        });
+        let mut without = ClsPrefetcher::new(ClsConfig {
+            replay: ReplayConfig::off(),
+            episodic: EpisodicBackend::Exact(CapacityPolicy::Ring { capacity: 1 }),
+            ..ClsConfig::small()
+        });
+        let rep_with = s.run(&t, &mut with);
+        let rep_without = s.run(&t, &mut without);
+        assert!(
+            rep_with.pct_misses_removed(&base) >= rep_without.pct_misses_removed(&base) - 2.0,
+            "replay {:.1}% vs none {:.1}%",
+            rep_with.pct_misses_removed(&base),
+            rep_without.pct_misses_removed(&base)
+        );
+        assert!(with.replayed() > 0, "replay actually ran");
+    }
+
+    #[test]
+    fn names_reflect_replay_mode() {
+        assert_eq!(ClsPrefetcher::new(ClsConfig::paper()).name(), "cls-hebbian");
+        assert_eq!(
+            ClsPrefetcher::new(ClsConfig::hebbian_only()).name(),
+            "hebbian"
+        );
+    }
+
+    #[test]
+    fn first_miss_emits_nothing() {
+        let mut p = ClsPrefetcher::new(ClsConfig::small());
+        let out = p.on_miss(&MissEvent {
+            page: 100,
+            tick: 0,
+            stream: 0,
+        });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sampler_stats_accumulate() {
+        let t = Pattern::Stride.generate(2000, 0);
+        let mut p = ClsPrefetcher::new(ClsConfig {
+            sampler: TrainingSampler::EveryNth { n: 2 },
+            ..ClsConfig::small()
+        });
+        let _ = sim().run(&t, &mut p);
+        let (trained, skipped) = p.sampler_stats();
+        assert!(trained > 0 && skipped > 0);
+        assert!((trained as i64 - skipped as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn hippocampus_respects_ring_capacity() {
+        let t = Pattern::PointerChase.generate(3000, 2);
+        let mut p = ClsPrefetcher::new(ClsConfig {
+            episodic: EpisodicBackend::Exact(CapacityPolicy::Ring { capacity: 100 }),
+            ..ClsConfig::small()
+        });
+        let _ = sim().run(&t, &mut p);
+        assert!(p.episodic().stored() <= 100);
+        assert!(p.episodic().offered() > 100);
+    }
+
+    #[test]
+    fn stream_isolation_rescues_interleaved_streams() {
+        // Two strided streams in disjoint regions, interleaved
+        // access-by-access: cross-stream deltas are garbage unless the
+        // prefetcher tracks per-stream history.
+        let a = Pattern::Stride.generate(3000, 1);
+        let b = {
+            let params = hnp_trace::patterns::PatternParams {
+                base: 0x9_0000_0000,
+                ..hnp_trace::patterns::PatternParams::default()
+            };
+            Pattern::Stride.generate_with(3000, 2, &params)
+        };
+        let trace = phased::interleave(&[a, b], 1);
+        let s = sim();
+        let base = s.run(&trace, &mut NoPrefetcher);
+        let mut isolated = ClsPrefetcher::new(ClsConfig {
+            stream_isolation: true,
+            ..ClsConfig::small()
+        });
+        let mut mixed = ClsPrefetcher::new(ClsConfig {
+            stream_isolation: false,
+            ..ClsConfig::small()
+        });
+        let iso = s.run(&trace, &mut isolated);
+        let mix = s.run(&trace, &mut mixed);
+        assert!(
+            iso.pct_misses_removed(&base) > mix.pct_misses_removed(&base) + 10.0,
+            "isolated {:.1}% vs mixed {:.1}%",
+            iso.pct_misses_removed(&base),
+            mix.pct_misses_removed(&base)
+        );
+    }
+
+    #[test]
+    fn associative_backend_works_end_to_end() {
+        let t = Pattern::PointerChase.generate(6000, 1);
+        let s = sim();
+        let base = s.run(&t, &mut NoPrefetcher);
+        let mut p = ClsPrefetcher::new(ClsConfig {
+            episodic: EpisodicBackend::Associative {
+                key_bits: 1024,
+                key_active: 24,
+                reservoir: 256,
+            },
+            ..ClsConfig::small()
+        });
+        let rep = s.run(&t, &mut p);
+        assert!(
+            rep.pct_misses_removed(&base) > 15.0,
+            "associative-backend removal {:.1}%",
+            rep.pct_misses_removed(&base)
+        );
+        assert!(p.replayed() > 0, "replay ran from the associative store");
+        assert!(
+            p.episodic().stored() <= 256,
+            "cue reservoir bound: {}",
+            p.episodic().stored()
+        );
+        assert!(p.episodic().offered() > 1000);
+    }
+
+    #[test]
+    fn adaptive_geometry_raises_lookahead_under_inference_latency() {
+        // §5.2: inference latency makes lookahead-1 prefetches late;
+        // the controller must react by predicting further ahead.
+        let t = Pattern::Stride.generate(6000, 0);
+        let sim_slow = Simulator::new(SimConfig {
+            capacity_pages: 32,
+            miss_latency: 50,
+            prefetch_latency: 50,
+            inference_latency: 300,
+            max_issue_per_miss: 8,
+            ..SimConfig::default()
+        });
+        let base = sim_slow.run(&t, &mut NoPrefetcher);
+        let mut fixed = ClsPrefetcher::new(ClsConfig {
+            lookahead: 1,
+            width: 1,
+            ..ClsConfig::small()
+        });
+        let mut adaptive = ClsPrefetcher::new(ClsConfig {
+            lookahead: 1,
+            width: 1,
+            adaptive: Some(crate::adaptive::AdaptiveConfig {
+                period: 64,
+                ..crate::adaptive::AdaptiveConfig::default()
+            }),
+            ..ClsConfig::small()
+        });
+        let rep_fixed = sim_slow.run(&t, &mut fixed);
+        let rep_adaptive = sim_slow.run(&t, &mut adaptive);
+        let (_, lookahead) = adaptive.geometry();
+        assert!(
+            lookahead > 1,
+            "controller must have raised lookahead, still at {lookahead}"
+        );
+        assert!(
+            rep_adaptive.pct_misses_removed(&base) > rep_fixed.pct_misses_removed(&base),
+            "adaptive {:.1}% vs fixed {:.1}%",
+            rep_adaptive.pct_misses_removed(&base),
+            rep_fixed.pct_misses_removed(&base)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = Pattern::IndirectIndex.generate(2000, 3);
+        let s = sim();
+        let a = s.run(&t, &mut ClsPrefetcher::new(ClsConfig::small()));
+        let b = s.run(&t, &mut ClsPrefetcher::new(ClsConfig::small()));
+        assert_eq!(a.full_misses, b.full_misses);
+        assert_eq!(a.prefetches_issued, b.prefetches_issued);
+    }
+}

@@ -1,0 +1,484 @@
+//! The hippocampal episodic store (§3.2, §5.4).
+//!
+//! The hippocampus in CLS theory "quickly memorizes the information it
+//! encounters ... in a compressed format" and later feeds replay. The
+//! paper's experiments assume unlimited storage; §5.4 lists the
+//! practical policies a real implementation must choose between, all
+//! of which are implemented here:
+//!
+//! * [`CapacityPolicy::Unbounded`] — the paper's experimental setup;
+//! * [`CapacityPolicy::Ring`] — a fixed-size buffer, oldest evicted;
+//! * [`CapacityPolicy::ConfidenceFiltered`] — skip well-learned
+//!   examples on entry, evict the highest-confidence first;
+//! * [`CapacityPolicy::Consolidating`] — free episodes that have been
+//!   replayed enough ("already consolidated due to replay, thus not
+//!   needed further");
+//! * [`CapacityPolicy::Averaging`] — merge similar episodes into
+//!   weighted prototypes ("average similar examples, producing single
+//!   representative cases").
+
+use rand::Rng;
+
+/// One stored training episode: the encoded input pattern and its
+/// observed next-token target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Episode {
+    /// The raw token history whose encoding is `pattern` (kept so
+    /// generative replay can re-roll sequences and so episodes can be
+    /// re-encoded under a different encoder).
+    pub history: Vec<usize>,
+    /// Active pattern bits (sorted).
+    pub pattern: Vec<u32>,
+    /// The network's recurrent-state bits when the episode was
+    /// recorded. Replay reinstates this context — replaying a pattern
+    /// under the *current* context would potentiate its target on the
+    /// wrong winner set and erode the true association.
+    pub recurrent: Vec<u32>,
+    /// Target class.
+    pub target: usize,
+    /// Model confidence on this example when it was stored.
+    pub confidence: f32,
+    /// Step counter at storage time.
+    pub stored_at: u64,
+    /// Phase tag from the phase detector (0 when untracked).
+    pub phase: u64,
+    /// Times this episode has been replayed.
+    pub replays: u32,
+    /// Merge weight (number of raw episodes behind a prototype).
+    pub weight: u32,
+}
+
+/// Storage policy for the episodic buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacityPolicy {
+    /// Store everything (the paper's idealized setup).
+    Unbounded,
+    /// Fixed capacity, oldest evicted first.
+    Ring {
+        /// Maximum episodes.
+        capacity: usize,
+    },
+    /// Skip examples the model already predicts with confidence above
+    /// `skip_above`; when full, evict the highest-confidence episode.
+    ConfidenceFiltered {
+        /// Maximum episodes.
+        capacity: usize,
+        /// Entry filter threshold.
+        skip_above: f32,
+    },
+    /// Drop episodes once replayed `max_replays` times; when full,
+    /// evict the most-replayed episode.
+    Consolidating {
+        /// Maximum episodes.
+        capacity: usize,
+        /// Replays after which an episode is considered consolidated.
+        max_replays: u32,
+    },
+    /// Merge a new episode into an existing same-target prototype when
+    /// their pattern overlap (Jaccard) reaches `merge_overlap`; when
+    /// full, evict the lightest prototype.
+    Averaging {
+        /// Maximum prototypes.
+        capacity: usize,
+        /// Jaccard similarity required to merge.
+        merge_overlap: f64,
+    },
+}
+
+/// The episodic store.
+#[derive(Debug, Clone)]
+pub struct Hippocampus {
+    policy: CapacityPolicy,
+    episodes: Vec<Episode>,
+    /// Raw episodes offered (including skipped/merged).
+    offered: u64,
+    /// Episodes rejected by the confidence filter.
+    skipped: u64,
+    /// Episodes merged into prototypes.
+    merged: u64,
+}
+
+impl Hippocampus {
+    /// Creates an empty store under `policy`.
+    pub fn new(policy: CapacityPolicy) -> Self {
+        Self {
+            policy,
+            episodes: Vec::new(),
+            offered: 0,
+            skipped: 0,
+            merged: 0,
+        }
+    }
+
+    /// The storage policy.
+    pub fn policy(&self) -> CapacityPolicy {
+        self.policy
+    }
+
+    /// Stored episode count.
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// Raw episodes offered via [`store`](Self::store).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Episodes rejected by the confidence filter.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Episodes merged into prototypes.
+    pub fn merged(&self) -> u64 {
+        self.merged
+    }
+
+    /// Read access to the stored episodes.
+    pub fn episodes(&self) -> &[Episode] {
+        &self.episodes
+    }
+
+    /// Offers an episode to the store; the policy decides whether and
+    /// how it is kept.
+    #[allow(clippy::too_many_arguments)]
+    pub fn store(
+        &mut self,
+        history: Vec<usize>,
+        pattern: Vec<u32>,
+        recurrent: Vec<u32>,
+        target: usize,
+        confidence: f32,
+        now: u64,
+        phase: u64,
+    ) {
+        self.offered += 1;
+        let episode = Episode {
+            history,
+            pattern,
+            recurrent,
+            target,
+            confidence,
+            stored_at: now,
+            phase,
+            replays: 0,
+            weight: 1,
+        };
+        match self.policy {
+            CapacityPolicy::Unbounded => self.episodes.push(episode),
+            CapacityPolicy::Ring { capacity } => {
+                if self.episodes.len() >= capacity {
+                    // Evict the oldest.
+                    let oldest = self
+                        .oldest_index()
+                        .expect("non-empty when at capacity");
+                    self.episodes.swap_remove(oldest);
+                }
+                self.episodes.push(episode);
+            }
+            CapacityPolicy::ConfidenceFiltered {
+                capacity,
+                skip_above,
+            } => {
+                if episode.confidence > skip_above {
+                    self.skipped += 1;
+                    return;
+                }
+                if self.episodes.len() >= capacity {
+                    let worst = self
+                        .episodes
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| {
+                            a.1.confidence
+                                .partial_cmp(&b.1.confidence)
+                                .expect("finite confidence")
+                        })
+                        .map(|(i, _)| i)
+                        .expect("non-empty when at capacity");
+                    self.episodes.swap_remove(worst);
+                }
+                self.episodes.push(episode);
+            }
+            CapacityPolicy::Consolidating { capacity, .. } => {
+                if self.episodes.len() >= capacity {
+                    let most_replayed = self
+                        .episodes
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, e)| e.replays)
+                        .map(|(i, _)| i)
+                        .expect("non-empty when at capacity");
+                    self.episodes.swap_remove(most_replayed);
+                }
+                self.episodes.push(episode);
+            }
+            CapacityPolicy::Averaging {
+                capacity,
+                merge_overlap,
+            } => {
+                if let Some(i) = self.find_mergeable(&episode, merge_overlap) {
+                    self.episodes[i].weight += 1;
+                    // Refresh recency/confidence toward the new sight.
+                    self.episodes[i].stored_at = episode.stored_at;
+                    self.episodes[i].confidence =
+                        0.5 * (self.episodes[i].confidence + episode.confidence);
+                    self.merged += 1;
+                    return;
+                }
+                if self.episodes.len() >= capacity {
+                    let lightest = self
+                        .episodes
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.weight)
+                        .map(|(i, _)| i)
+                        .expect("non-empty when at capacity");
+                    self.episodes.swap_remove(lightest);
+                }
+                self.episodes.push(episode);
+            }
+        }
+    }
+
+    /// Samples up to `k` episode indices uniformly without replacement.
+    pub fn sample(&self, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+        let n = self.episodes.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        if k >= n {
+            return (0..n).collect();
+        }
+        // Partial Fisher-Yates over an index array.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Samples up to `k` episodes preferring phases other than
+    /// `current_phase` (replay old contexts while learning a new one).
+    /// Falls back to uniform sampling when no other phase is stored.
+    pub fn sample_other_phases(
+        &self,
+        k: usize,
+        current_phase: u64,
+        rng: &mut impl Rng,
+    ) -> Vec<usize> {
+        let others: Vec<usize> = self
+            .episodes
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.phase != current_phase)
+            .map(|(i, _)| i)
+            .collect();
+        if others.is_empty() {
+            return self.sample(k, rng);
+        }
+        if k >= others.len() {
+            return others;
+        }
+        let mut idx = others;
+        let n = idx.len();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Marks an episode as replayed once; under
+    /// [`CapacityPolicy::Consolidating`] the episode is freed when it
+    /// reaches the replay budget. Returns whether the episode was
+    /// freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn mark_replayed(&mut self, index: usize) -> bool {
+        let e = &mut self.episodes[index];
+        e.replays += 1;
+        if let CapacityPolicy::Consolidating { max_replays, .. } = self.policy {
+            if e.replays >= max_replays {
+                self.episodes.swap_remove(index);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Clears all stored episodes.
+    pub fn clear(&mut self) {
+        self.episodes.clear();
+    }
+
+    fn oldest_index(&self) -> Option<usize> {
+        self.episodes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.stored_at)
+            .map(|(i, _)| i)
+    }
+
+    fn find_mergeable(&self, episode: &Episode, threshold: f64) -> Option<usize> {
+        self.episodes.iter().position(|e| {
+            e.target == episode.target && jaccard(&e.pattern, &episode.pattern) >= threshold
+        })
+    }
+}
+
+/// Jaccard similarity of two sorted bit-index lists.
+fn jaccard(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ep(h: &mut Hippocampus, bits: &[u32], target: usize, conf: f32, now: u64) {
+        h.store(vec![target], bits.to_vec(), vec![], target, conf, now, 0);
+    }
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut h = Hippocampus::new(CapacityPolicy::Unbounded);
+        for i in 0..1000u64 {
+            ep(&mut h, &[i as u32], 0, 0.5, i);
+        }
+        assert_eq!(h.len(), 1000);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut h = Hippocampus::new(CapacityPolicy::Ring { capacity: 3 });
+        for i in 0..5u64 {
+            ep(&mut h, &[i as u32], 0, 0.5, i);
+        }
+        assert_eq!(h.len(), 3);
+        let stored: Vec<u64> = h.episodes().iter().map(|e| e.stored_at).collect();
+        assert!(!stored.contains(&0) && !stored.contains(&1));
+    }
+
+    #[test]
+    fn confidence_filter_skips_well_learned() {
+        let mut h = Hippocampus::new(CapacityPolicy::ConfidenceFiltered {
+            capacity: 10,
+            skip_above: 0.9,
+        });
+        ep(&mut h, &[1], 0, 0.95, 0); // Skipped.
+        ep(&mut h, &[2], 0, 0.5, 1); // Kept.
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.skipped(), 1);
+    }
+
+    #[test]
+    fn confidence_filter_evicts_highest_confidence() {
+        let mut h = Hippocampus::new(CapacityPolicy::ConfidenceFiltered {
+            capacity: 2,
+            skip_above: 0.9,
+        });
+        ep(&mut h, &[1], 0, 0.8, 0);
+        ep(&mut h, &[2], 0, 0.2, 1);
+        ep(&mut h, &[3], 0, 0.5, 2);
+        assert_eq!(h.len(), 2);
+        assert!(h.episodes().iter().all(|e| e.confidence < 0.8));
+    }
+
+    #[test]
+    fn consolidation_frees_replayed_episodes() {
+        let mut h = Hippocampus::new(CapacityPolicy::Consolidating {
+            capacity: 10,
+            max_replays: 2,
+        });
+        ep(&mut h, &[1], 0, 0.5, 0);
+        assert!(!h.mark_replayed(0));
+        assert!(h.mark_replayed(0), "second replay consolidates");
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn averaging_merges_similar_same_target_episodes() {
+        let mut h = Hippocampus::new(CapacityPolicy::Averaging {
+            capacity: 10,
+            merge_overlap: 0.6,
+        });
+        ep(&mut h, &[1, 2, 3, 4], 7, 0.5, 0);
+        ep(&mut h, &[1, 2, 3, 5], 7, 0.7, 1); // Jaccard 3/5 = 0.6.
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.episodes()[0].weight, 2);
+        assert_eq!(h.merged(), 1);
+        // Different target never merges.
+        ep(&mut h, &[1, 2, 3, 4], 9, 0.5, 2);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn sampling_is_without_replacement_and_in_range() {
+        let mut h = Hippocampus::new(CapacityPolicy::Unbounded);
+        for i in 0..20u64 {
+            ep(&mut h, &[i as u32], 0, 0.5, i);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = h.sample(8, &mut rng);
+        assert_eq!(s.len(), 8);
+        let set: std::collections::HashSet<usize> = s.iter().copied().collect();
+        assert_eq!(set.len(), 8);
+        assert!(s.iter().all(|&i| i < 20));
+        // k > n returns everything.
+        assert_eq!(h.sample(100, &mut rng).len(), 20);
+        // Empty store returns nothing.
+        let empty = Hippocampus::new(CapacityPolicy::Unbounded);
+        assert!(empty.sample(5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn other_phase_sampling_prefers_old_phases() {
+        let mut h = Hippocampus::new(CapacityPolicy::Unbounded);
+        for i in 0..10u64 {
+            h.store(vec![0], vec![i as u32], vec![], 0, 0.5, i, if i < 5 { 1 } else { 2 });
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = h.sample_other_phases(3, 2, &mut rng);
+        assert!(s.iter().all(|&i| h.episodes()[i].phase == 1));
+    }
+
+    #[test]
+    fn jaccard_corner_cases() {
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(&[1], &[]), 0.0);
+        assert_eq!(jaccard(&[1, 2], &[1, 2]), 1.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,304 @@
+//! Replay: interleaving old memories into ongoing learning (§3.2,
+//! §5.4).
+//!
+//! The paper's §3.2 experiment implements replay by "retraining the
+//! network on the first pattern using a 0.1x smaller learning rate
+//! after each training/inference of the second" —
+//! [`ReplayForm::Interleaved`] generalizes that: after every online
+//! training step, `per_step` episodes sampled from the hippocampus are
+//! retrained at `lr_scale`. §5.4 sketches further forms, implemented
+//! as:
+//!
+//! * [`ReplayForm::OtherPhases`] — interleaved replay biased toward
+//!   phases other than the current one (replay *old* memories);
+//! * [`ReplayForm::Generative`] — hindsight replay: the network
+//!   re-rolls sequences from stored seed contexts and learns its own
+//!   generated continuations, trading compute for storage;
+//! * [`ReplayForm::SelfReinforce`] — recall a stored context, run the
+//!   forward pass, and train on the network's own output "to reinforce
+//!   existing behavior".
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::encoder::Encoder;
+use crate::episodic::EpisodicStore;
+use crate::neocortex::Neocortex;
+
+/// The replay variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayForm {
+    /// Uniformly sampled episodes retrained at the scaled rate.
+    Interleaved,
+    /// Episodes sampled preferentially from other phases.
+    OtherPhases,
+    /// Hindsight: re-roll `rollout_len` steps from a stored context and
+    /// train on the generated sequence.
+    Generative {
+        /// Steps generated per replayed episode.
+        rollout_len: usize,
+    },
+    /// Train the stored context on the network's own current output.
+    SelfReinforce,
+}
+
+/// Replay configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Episodes replayed after each online training step.
+    pub per_step: usize,
+    /// Learning-rate scale for replayed examples (paper: 0.1).
+    pub lr_scale: f32,
+    /// Replay form.
+    pub form: ReplayForm,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            per_step: 1,
+            lr_scale: 0.1,
+            form: ReplayForm::Interleaved,
+            seed: 0x9e91a,
+        }
+    }
+}
+
+impl ReplayConfig {
+    /// Replay disabled (the §2.2 interference condition).
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Schedules replay against a neocortex + hippocampus pair.
+#[derive(Debug)]
+pub struct ReplayScheduler {
+    cfg: ReplayConfig,
+    rng: StdRng,
+    /// Total replayed examples (reporting).
+    pub replayed: u64,
+}
+
+impl ReplayScheduler {
+    /// Creates a scheduler.
+    pub fn new(cfg: ReplayConfig) -> Self {
+        let seed = cfg.seed;
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            replayed: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ReplayConfig {
+        &self.cfg
+    }
+
+    /// Runs one round of replay (called after each online training
+    /// step). Returns the number of replayed examples.
+    pub fn after_train(
+        &mut self,
+        cortex: &mut Neocortex,
+        store: &mut dyn EpisodicStore,
+        encoder: &Encoder,
+        current_phase: u64,
+    ) -> usize {
+        if !self.cfg.enabled || self.cfg.per_step == 0 || store.stored() == 0 {
+            return 0;
+        }
+        let prefer_other = matches!(self.cfg.form, ReplayForm::OtherPhases);
+        let episodes =
+            store.sample_for_replay(self.cfg.per_step, current_phase, prefer_other, &mut self.rng);
+        let mut done = 0usize;
+        for episode in episodes {
+            match self.cfg.form {
+                ReplayForm::Interleaved | ReplayForm::OtherPhases => {
+                    cortex.replay_train(
+                        &episode.pattern,
+                        episode.target,
+                        self.cfg.lr_scale,
+                        &episode.recurrent,
+                    );
+                    done += 1;
+                }
+                ReplayForm::Generative { rollout_len } if !episode.history.is_empty() => {
+                    // Generate a continuation from the stored context
+                    // and learn the generated transitions, all under
+                    // the episode's reinstated recurrent context.
+                    let saved = cortex.recurrent_state();
+                    cortex.network_mut().set_recurrent_state(&episode.recurrent);
+                    let preds = cortex.predict(&episode.history, encoder, rollout_len, 1);
+                    let mut hist = episode.history.clone();
+                    // First transition: the episode's real target.
+                    cortex.train_scaled(&episode.pattern, episode.target, self.cfg.lr_scale);
+                    done += 1;
+                    for step in preds {
+                        let next = step[0];
+                        hist.push(next);
+                        let ctx = &hist[..hist.len() - 1];
+                        let pattern = encoder.encode(ctx);
+                        cortex.train_scaled(&pattern, next, self.cfg.lr_scale);
+                        done += 1;
+                    }
+                    cortex.network_mut().set_recurrent_state(&saved);
+                }
+                ReplayForm::Generative { .. } => {
+                    // Compressed backends recall no token history; fall
+                    // back to a plain interleaved step.
+                    cortex.replay_train(
+                        &episode.pattern,
+                        episode.target,
+                        self.cfg.lr_scale,
+                        &episode.recurrent,
+                    );
+                    done += 1;
+                }
+                ReplayForm::SelfReinforce => {
+                    let saved = cortex.recurrent_state();
+                    cortex.network_mut().set_recurrent_state(&episode.recurrent);
+                    let out = {
+                        let net = cortex.network_mut();
+                        net.infer(&episode.pattern, episode.target)
+                    };
+                    cortex.train_scaled(&episode.pattern, out.predicted, self.cfg.lr_scale);
+                    cortex.network_mut().set_recurrent_state(&saved);
+                    done += 1;
+                }
+            }
+        }
+        self.replayed += done as u64;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::EncoderKind;
+    use crate::hippocampus::{CapacityPolicy, Hippocampus};
+    use crate::neocortex::NeocortexConfig;
+
+    fn setup() -> (Neocortex, Hippocampus, Encoder) {
+        let encoder = Encoder::new(EncoderKind::OneHot, 16);
+        let cortex = Neocortex::new(
+            &encoder,
+            16,
+            &NeocortexConfig {
+                hidden: 128,
+                connectivity: 0.375,
+                hidden_active: 16,
+                recurrent_bits: 32,
+                recurrent_sample: 6,
+                ..NeocortexConfig::default()
+            },
+        );
+        (cortex, Hippocampus::new(CapacityPolicy::Unbounded), encoder)
+    }
+
+    /// Trains pattern A (cycle), then pattern B with/without replay of
+    /// A; replay must preserve accuracy on A. This is the Fig.-3
+    /// mechanism at unit scale.
+    fn interference_run(replay: ReplayConfig) -> f32 {
+        let (mut cortex, mut hippo, encoder) = setup();
+        let a = [1usize, 5, 2, 9];
+        let b = [3usize, 11, 7, 14];
+        // Learn A, storing episodes.
+        for _ in 0..150 {
+            for w in 0..a.len() {
+                let ctx = [a[w]];
+                let pattern = encoder.encode(&ctx);
+                let target = a[(w + 1) % a.len()];
+                let recurrent = cortex.recurrent_state();
+                let o = cortex.train(&pattern, target);
+                hippo.store(ctx.to_vec(), pattern, recurrent, target, o.confidence, 0, 1);
+            }
+        }
+        // Learn B with replay of stored A episodes.
+        let mut sched = ReplayScheduler::new(replay);
+        for _ in 0..150 {
+            for w in 0..b.len() {
+                let pattern = encoder.encode(&[b[w]]);
+                cortex.train(&pattern, b[(w + 1) % b.len()]);
+                sched.after_train(&mut cortex, &mut hippo as &mut dyn EpisodicStore, &encoder, 2);
+            }
+        }
+        // Accuracy on A afterwards.
+        cortex.network_mut().reset_state();
+        let mut correct = 0;
+        for _ in 0..5 {
+            for w in 0..a.len() {
+                let pattern = encoder.encode(&[a[w]]);
+                let o = cortex.observe(&pattern, a[(w + 1) % a.len()]);
+                if o.correct {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f32 / 20.0
+    }
+
+    #[test]
+    fn interleaved_replay_preserves_old_pattern() {
+        let with = interference_run(ReplayConfig {
+            per_step: 2,
+            ..ReplayConfig::default()
+        });
+        assert!(with > 0.8, "accuracy on A with replay: {with}");
+    }
+
+    #[test]
+    fn replay_off_config_is_inert() {
+        let (mut cortex, mut hippo, encoder) = setup();
+        hippo.store(vec![1], encoder.encode(&[1]), vec![], 2, 0.5, 0, 0);
+        let mut sched = ReplayScheduler::new(ReplayConfig::off());
+        assert_eq!(sched.after_train(&mut cortex, &mut hippo as &mut dyn EpisodicStore, &encoder, 0), 0);
+        assert_eq!(sched.replayed, 0);
+    }
+
+    #[test]
+    fn generative_replay_counts_generated_steps() {
+        let (mut cortex, mut hippo, encoder) = setup();
+        for t in 0..8usize {
+            hippo.store(vec![t], encoder.encode(&[t]), vec![], (t + 1) % 8, 0.5, 0, 0);
+        }
+        let mut sched = ReplayScheduler::new(ReplayConfig {
+            form: ReplayForm::Generative { rollout_len: 3 },
+            per_step: 2,
+            ..ReplayConfig::default()
+        });
+        let n = sched.after_train(&mut cortex, &mut hippo as &mut dyn EpisodicStore, &encoder, 0);
+        // Each of the 2 episodes yields 1 real + 3 generated examples.
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn self_reinforce_replays_one_per_episode() {
+        let (mut cortex, mut hippo, encoder) = setup();
+        for t in 0..4usize {
+            hippo.store(vec![t], encoder.encode(&[t]), vec![], t, 0.5, 0, 0);
+        }
+        let mut sched = ReplayScheduler::new(ReplayConfig {
+            form: ReplayForm::SelfReinforce,
+            per_step: 3,
+            ..ReplayConfig::default()
+        });
+        assert_eq!(sched.after_train(&mut cortex, &mut hippo as &mut dyn EpisodicStore, &encoder, 0), 3);
+    }
+
+    #[test]
+    fn empty_hippocampus_replays_nothing() {
+        let (mut cortex, mut hippo, encoder) = setup();
+        let mut sched = ReplayScheduler::new(ReplayConfig::default());
+        assert_eq!(sched.after_train(&mut cortex, &mut hippo as &mut dyn EpisodicStore, &encoder, 0), 0);
+    }
+}

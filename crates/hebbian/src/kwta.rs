@@ -1,0 +1,71 @@
+//! k-winners-take-all sparse activation.
+//!
+//! The paper's networks are "sparse in their representations, in that
+//! only 1-25 % of the network's hidden layer neurons are activated on
+//! an input". k-WTA implements that: the `k` highest-scoring units
+//! fire, the rest are silent.
+
+/// Returns the indices of the `k` highest scores, ascending by index.
+///
+/// Ties are broken toward the lower index so that results are fully
+/// deterministic. Returns all indices if `k >= scores.len()`.
+pub fn k_winners(scores: &[i32], k: usize) -> Vec<u32> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if k >= scores.len() {
+        return (0..scores.len() as u32).collect();
+    }
+    // Select the k-th largest score by sorting a copy of the indices;
+    // n is ~1000 on the hot path so an O(n log n) partial selection is
+    // plenty, and `select_nth_unstable_by` keeps it O(n).
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        scores[b as usize]
+            .cmp(&scores[a as usize])
+            .then(a.cmp(&b))
+    });
+    let mut winners = idx[..k].to_vec();
+    winners.sort_unstable();
+    winners
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_top_k() {
+        let scores = [5, 1, 9, 3, 7];
+        assert_eq!(k_winners(&scores, 2), vec![2, 4]);
+        assert_eq!(k_winners(&scores, 3), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_index() {
+        let scores = [4, 4, 4, 4];
+        assert_eq!(k_winners(&scores, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_zero_and_k_big_are_safe() {
+        let scores = [1, 2, 3];
+        assert!(k_winners(&scores, 0).is_empty());
+        assert_eq!(k_winners(&scores, 10), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn winners_are_sorted() {
+        let scores: Vec<i32> = (0..100).map(|i| (i * 37) % 101).collect();
+        let w = k_winners(&scores, 10);
+        let mut sorted = w.clone();
+        sorted.sort_unstable();
+        assert_eq!(w, sorted);
+    }
+
+    #[test]
+    fn negative_scores_still_select_the_least_negative() {
+        let scores = [-10, -3, -7, -1];
+        assert_eq!(k_winners(&scores, 2), vec![1, 3]);
+    }
+}

@@ -1,0 +1,778 @@
+//! The sparse Hebbian prefetch network (§3.1 of the paper).
+//!
+//! Architecture: a binary input layer (pattern bits plus recurrent
+//! bits), one hidden layer with k-winners-take-all activation, and an
+//! output layer over the delta vocabulary. Connectivity between layers
+//! is sparse and fixed at construction; weights are small integers
+//! updated with the paper's Eq.-1 rule. A recurrent state — a sparse
+//! binary code of the previous step (see [`RecurrentStyle`]) — gives
+//! the network sequence memory, mirroring the paper's "our network
+//! also uses a recurrent state to capture sequence memory".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bitset::BitSet;
+use crate::kwta::k_winners;
+use crate::sparse::SparseLayer;
+
+/// How (and whether) the input-to-hidden layer learns.
+///
+/// The default is [`HiddenLearning::Fixed`]: the hidden layer acts as
+/// a fixed sparse random expansion — pattern separation in the sense
+/// of the dentate gyrus — and all learning happens in the output
+/// associator via Eq. 1. Competitive Hebbian learning of the hidden
+/// layer is available for ablation; un-gated competitive updates
+/// destabilize the winner sets (each step drags the strongest units
+/// toward the current input) — see DESIGN.md §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HiddenLearning {
+    /// Hidden weights stay at their random initialization.
+    Fixed,
+    /// Hidden winners update toward the input only on mispredictions.
+    ErrorGated,
+    /// Hidden winners update toward the input on every step.
+    Always,
+}
+
+/// How the recurrent state is derived after each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecurrentStyle {
+    /// The recurrent bits are a fixed random code of the *previous
+    /// step's pattern bits*. The state orbit then has exactly the
+    /// pattern's period, which converges fast and predictably; context
+    /// depth is one step (deeper context comes from history-window
+    /// encoders upstream).
+    PatternCode,
+    /// The recurrent bits are the fixed random projections of the
+    /// previous step's strongest hidden winners — an echo-state-style
+    /// trace with deeper but less stable memory.
+    WinnerTrace,
+}
+
+/// Hyper-parameters of the Hebbian prefetch network.
+#[derive(Debug, Clone)]
+pub struct HebbianConfig {
+    /// Width of the binary pattern input (delta-vocabulary one-hot
+    /// width, or an encoder's output width).
+    pub pattern_bits: usize,
+    /// Width of the recurrent-state input section.
+    pub recurrent_bits: usize,
+    /// Hidden-layer width (the paper uses 1000).
+    pub hidden: usize,
+    /// Output classes (delta vocabulary).
+    pub outputs: usize,
+    /// Fraction of present connections between adjacent layers (the
+    /// paper uses 12.5 %).
+    pub connectivity: f64,
+    /// Number of hidden winners per step (the paper activates 10 %).
+    pub hidden_active: usize,
+    /// How many winners (strongest first) project into the recurrent
+    /// state. Bounds recurrent density.
+    pub recurrent_sample: usize,
+    /// Weight magnitude clamp.
+    pub weight_clamp: i16,
+    /// Base integer potentiation step (LTP).
+    pub step: i16,
+    /// Integer depression step (LTD) for inactive inputs of an updated
+    /// output. Must be smaller than `step` for outputs that fire in
+    /// several contexts (see `SparseLayer::hebbian_update`).
+    pub ltd_step: i16,
+    /// Depress a false winner's active inputs (perceptron-style
+    /// extension of Eq. 1; see DESIGN.md).
+    pub anti_hebbian: bool,
+    /// Hidden-layer learning mode.
+    pub hidden_learning: HiddenLearning,
+    /// Recurrent-state derivation.
+    pub recurrent_style: RecurrentStyle,
+    /// Initial weight magnitude of the hidden expansion. Wider ranges
+    /// give the fixed expansion better pattern separation.
+    pub hidden_init_mag: i16,
+    /// RNG seed for connectivity and stochastic scaled updates.
+    pub seed: u64,
+}
+
+impl Default for HebbianConfig {
+    fn default() -> Self {
+        Self::paper_table2()
+    }
+}
+
+impl HebbianConfig {
+    /// The configuration matching the paper's Table-2 row: 1000 hidden
+    /// neurons, 12.5 % connectivity, 10 % hidden activity, ~49 k
+    /// integer parameters.
+    pub fn paper_table2() -> Self {
+        Self {
+            pattern_bits: 128,
+            recurrent_bits: 128,
+            hidden: 1000,
+            outputs: 136,
+            connectivity: 0.125,
+            hidden_active: 100,
+            recurrent_sample: 16,
+            weight_clamp: 64,
+            step: 4,
+            ltd_step: 1,
+            anti_hebbian: true,
+            hidden_learning: HiddenLearning::Fixed,
+            recurrent_style: RecurrentStyle::PatternCode,
+            hidden_init_mag: 8,
+            seed: 0xb1a1,
+        }
+    }
+
+    /// A small configuration for unit tests.
+    ///
+    /// Connectivity is denser than the paper's 12.5 % because at these
+    /// widths sparse fan-in would leave some (winner-set, output) pairs
+    /// structurally disconnected; at paper scale (125-wide fan-in vs.
+    /// 100 winners of 1000) that probability is negligible (~1e-6).
+    pub fn tiny() -> Self {
+        Self {
+            pattern_bits: 16,
+            recurrent_bits: 32,
+            hidden: 128,
+            outputs: 16,
+            connectivity: 0.375,
+            hidden_active: 16,
+            recurrent_sample: 6,
+            weight_clamp: 32,
+            step: 4,
+            ltd_step: 1,
+            anti_hebbian: true,
+            hidden_learning: HiddenLearning::Fixed,
+            recurrent_style: RecurrentStyle::PatternCode,
+            hidden_init_mag: 8,
+            seed: 0xb1a1,
+        }
+    }
+}
+
+/// The result of one inference or training step.
+#[derive(Debug, Clone)]
+pub struct HebbianOutcome {
+    /// Argmax output class.
+    pub predicted: usize,
+    /// Normalized score of a probed class (the training target, when
+    /// training): `max(score, 0) / sum(max(scores, 0))`. Comparable to
+    /// the LSTM's softmax confidence in Fig. 3.
+    pub confidence: f32,
+    /// Whether `predicted` equals the probed class.
+    pub correct: bool,
+    /// Integer operations spent on this step.
+    pub ops: usize,
+}
+
+/// The sparse Hebbian prefetch network.
+#[derive(Clone)]
+pub struct HebbianNetwork {
+    cfg: HebbianConfig,
+    /// Input (pattern ++ recurrent) -> hidden.
+    layer1: SparseLayer,
+    /// Hidden -> output classes.
+    layer2: SparseLayer,
+    /// Fixed random map from hidden unit to recurrent slot
+    /// (`WinnerTrace` mode).
+    recurrent_map: Vec<u32>,
+    /// Fixed random slots per pattern bit (`PatternCode` mode).
+    pattern_code_map: Vec<Vec<u32>>,
+    /// Currently active recurrent bits (previous step's winners).
+    recurrent: Vec<u32>,
+    /// RNG for probabilistic scaled updates.
+    rng: StdRng,
+    /// Scratch buffers reused across steps.
+    hidden_scores: Vec<i32>,
+    out_scores: Vec<i32>,
+}
+
+impl HebbianNetwork {
+    /// Builds a network from `cfg`, with connectivity drawn from
+    /// `cfg.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths are zero, `hidden_active` exceeds `hidden`, or
+    /// `connectivity` is out of range.
+    pub fn new(cfg: HebbianConfig) -> Self {
+        assert!(cfg.pattern_bits > 0 && cfg.hidden > 0 && cfg.outputs > 0);
+        assert!(
+            cfg.hidden_active > 0 && cfg.hidden_active <= cfg.hidden,
+            "hidden_active must be in 1..=hidden"
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let input_dim = cfg.pattern_bits + cfg.recurrent_bits;
+        let layer1 = SparseLayer::new(
+            input_dim,
+            cfg.hidden,
+            cfg.connectivity,
+            cfg.weight_clamp.max(cfg.hidden_init_mag),
+            cfg.hidden_init_mag,
+            &mut rng,
+        );
+        // Output weights start at zero: untrained classes then score
+        // exactly zero, so confidence reflects learned associations
+        // only (init noise would put a floor under competitor scores).
+        let layer2 = SparseLayer::new(
+            cfg.hidden,
+            cfg.outputs,
+            cfg.connectivity,
+            cfg.weight_clamp,
+            0,
+            &mut rng,
+        );
+        let recurrent_map = (0..cfg.hidden)
+            .map(|_| {
+                if cfg.recurrent_bits == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..cfg.recurrent_bits as u32)
+                }
+            })
+            .collect();
+        let pattern_code_map = (0..cfg.pattern_bits)
+            .map(|_| {
+                let mut slots: Vec<u32> = (0..cfg.recurrent_sample)
+                    .map(|_| {
+                        if cfg.recurrent_bits == 0 {
+                            0
+                        } else {
+                            rng.gen_range(0..cfg.recurrent_bits as u32)
+                        }
+                    })
+                    .collect();
+                slots.sort_unstable();
+                slots.dedup();
+                slots
+            })
+            .collect();
+        Self {
+            hidden_scores: vec![0; cfg.hidden],
+            out_scores: vec![0; cfg.outputs],
+            layer1,
+            layer2,
+            recurrent_map,
+            pattern_code_map,
+            recurrent: Vec::new(),
+            rng,
+            cfg,
+        }
+    }
+
+    /// The configuration this network was built from.
+    pub fn config(&self) -> &HebbianConfig {
+        &self.cfg
+    }
+
+    /// Total integer parameter count across both layers.
+    pub fn param_count(&self) -> usize {
+        self.layer1.param_count() + self.layer2.param_count()
+    }
+
+    /// Clears the recurrent state.
+    pub fn reset_state(&mut self) {
+        self.recurrent.clear();
+    }
+
+    /// The active recurrent bits (for phase-clustering in the core
+    /// crate).
+    pub fn recurrent_state(&self) -> &[u32] {
+        &self.recurrent
+    }
+
+    /// Overwrites the recurrent state — replay reinstates the context
+    /// bits that were active when an episode was recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bit is out of range.
+    pub fn set_recurrent_state(&mut self, bits: &[u32]) {
+        assert!(
+            bits.iter().all(|&b| (b as usize) < self.cfg.recurrent_bits),
+            "recurrent bit out of range"
+        );
+        let mut v = bits.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        self.recurrent = v;
+    }
+
+    /// Builds the full active-input list for a pattern: pattern bits as
+    /// given plus the recurrent bits shifted past the pattern section.
+    fn active_inputs(&self, pattern: &[u32]) -> Vec<u32> {
+        let mut v = Vec::with_capacity(pattern.len() + self.recurrent.len());
+        for &b in pattern {
+            assert!(
+                (b as usize) < self.cfg.pattern_bits,
+                "pattern bit {} out of range ({})",
+                b,
+                self.cfg.pattern_bits
+            );
+            v.push(b);
+        }
+        for &r in &self.recurrent {
+            v.push(self.cfg.pattern_bits as u32 + r);
+        }
+        v
+    }
+
+    /// Forward pass: returns (winners sorted by index, ops).
+    /// `self.hidden_scores` and `self.out_scores` hold the raw scores
+    /// afterwards.
+    fn forward(&mut self, active: &[u32]) -> (Vec<u32>, usize) {
+        self.hidden_scores.iter_mut().for_each(|s| *s = 0);
+        self.out_scores.iter_mut().for_each(|s| *s = 0);
+        let mut ops = self.layer1.forward(active, &mut self.hidden_scores);
+        let winners = k_winners(&self.hidden_scores, self.cfg.hidden_active);
+        // Selection cost: one compare per hidden unit plus heap-ish
+        // bookkeeping; counted as 2 ops per unit.
+        ops += 2 * self.cfg.hidden;
+        ops += self.layer2.forward(&winners, &mut self.out_scores);
+        ops += self.cfg.outputs; // Argmax scan.
+        (winners, ops)
+    }
+
+    /// Normalized non-negative score share of `class`.
+    fn confidence_of(&self, class: usize) -> f32 {
+        let pos_sum: i64 = self.out_scores.iter().map(|&s| s.max(0) as i64).sum();
+        if pos_sum == 0 {
+            1.0 / self.cfg.outputs as f32
+        } else {
+            self.out_scores[class].max(0) as f32 / pos_sum as f32
+        }
+    }
+
+    fn argmax_out(&self) -> usize {
+        let mut best = 0;
+        for (i, &s) in self.out_scores.iter().enumerate() {
+            if s > self.out_scores[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Advances the recurrent state after a step on `pattern` with
+    /// hidden `winners`, per the configured [`RecurrentStyle`].
+    fn advance_recurrent(&mut self, pattern: &[u32], winners: &[u32]) {
+        if self.cfg.recurrent_bits == 0 {
+            return;
+        }
+        let mut slots: Vec<u32> = match self.cfg.recurrent_style {
+            RecurrentStyle::PatternCode => pattern
+                .iter()
+                .flat_map(|&b| self.pattern_code_map[b as usize].iter().copied())
+                .collect(),
+            RecurrentStyle::WinnerTrace => {
+                let mut by_score: Vec<u32> = winners.to_vec();
+                by_score.sort_by(|&a, &b| {
+                    self.hidden_scores[b as usize]
+                        .cmp(&self.hidden_scores[a as usize])
+                        .then(a.cmp(&b))
+                });
+                by_score.truncate(self.cfg.recurrent_sample);
+                by_score
+                    .iter()
+                    .map(|&w| self.recurrent_map[w as usize])
+                    .collect()
+            }
+        };
+        slots.sort_unstable();
+        slots.dedup();
+        self.recurrent = slots;
+    }
+
+    /// Inference without learning or state change: predicts the next
+    /// class for `pattern` and reports confidence on `probe`.
+    pub fn infer(&mut self, pattern: &[u32], probe: usize) -> HebbianOutcome {
+        let active = self.active_inputs(pattern);
+        let (_, ops) = self.forward(&active);
+        let predicted = self.argmax_out();
+        HebbianOutcome {
+            predicted,
+            confidence: self.confidence_of(probe),
+            correct: predicted == probe,
+            ops,
+        }
+    }
+
+    /// Inference that advances the recurrent state (the online
+    /// prediction path).
+    pub fn infer_advance(&mut self, pattern: &[u32], probe: usize) -> HebbianOutcome {
+        let active = self.active_inputs(pattern);
+        let (winners, ops) = self.forward(&active);
+        let predicted = self.argmax_out();
+        let out = HebbianOutcome {
+            predicted,
+            confidence: self.confidence_of(probe),
+            correct: predicted == probe,
+            ops,
+        };
+        self.advance_recurrent(pattern, &winners);
+        out
+    }
+
+    /// The classes of the `width` highest output scores, descending.
+    /// Call after any `infer*`/`train*` step to read multi-candidate
+    /// predictions (§5.2's prefetch width).
+    pub fn top_predictions(&self, width: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.out_scores.len()).collect();
+        idx.sort_by(|&a, &b| self.out_scores[b].cmp(&self.out_scores[a]).then(a.cmp(&b)));
+        idx.truncate(width);
+        idx
+    }
+
+    /// One online training step with the base integer step size.
+    pub fn train_step(&mut self, pattern: &[u32], target: usize) -> HebbianOutcome {
+        self.train_step_scaled(pattern, target, 1.0)
+    }
+
+    /// One online training step with a scaled learning rate.
+    ///
+    /// Integer weights cannot take fractional steps, so `scale < 1`
+    /// applies the update stochastically with probability `scale`
+    /// (expected update equals the scaled rate — the paper's 0.1x
+    /// replay rate becomes a 10 % update probability). `scale >= 1`
+    /// multiplies the integer step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range or `scale` is negative.
+    pub fn train_step_scaled(
+        &mut self,
+        pattern: &[u32],
+        target: usize,
+        scale: f32,
+    ) -> HebbianOutcome {
+        self.train_step_opts(pattern, target, scale, self.cfg.anti_hebbian)
+    }
+
+    /// [`train_step_scaled`](Self::train_step_scaled) with explicit
+    /// control over anti-Hebbian depression. Replay passes `false`:
+    /// replayed examples should reinforce stored associations without
+    /// depressing whatever the network currently predicts (which is
+    /// usually the *new* pattern being learned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range or `scale` is negative.
+    pub fn train_step_opts(
+        &mut self,
+        pattern: &[u32],
+        target: usize,
+        scale: f32,
+        anti_hebbian: bool,
+    ) -> HebbianOutcome {
+        assert!(target < self.cfg.outputs, "target out of range");
+        assert!(scale >= 0.0, "negative learning-rate scale");
+        let active = self.active_inputs(pattern);
+        let (winners, mut ops) = self.forward(&active);
+        let predicted = self.argmax_out();
+        let outcome_conf = self.confidence_of(target);
+
+        let apply = if scale >= 1.0 {
+            true
+        } else {
+            self.rng.gen::<f32>() < scale
+        };
+        if apply {
+            let (step, ltd) = if scale >= 1.0 {
+                (
+                    (self.cfg.step as f32 * scale).round() as i16,
+                    (self.cfg.ltd_step as f32 * scale).round() as i16,
+                )
+            } else {
+                (self.cfg.step, self.cfg.ltd_step)
+            };
+            let mispredicted = predicted != target;
+            let update_hidden = match self.cfg.hidden_learning {
+                HiddenLearning::Fixed => false,
+                HiddenLearning::ErrorGated => mispredicted,
+                HiddenLearning::Always => true,
+            };
+            if update_hidden {
+                let input_dim = self.cfg.pattern_bits + self.cfg.recurrent_bits;
+                let active_set = BitSet::from_indices(input_dim, &active);
+                for &w in &winners {
+                    ops += self.layer1.hebbian_update(w, &active_set, step, ltd);
+                }
+            }
+            let winner_set = BitSet::from_indices(self.cfg.hidden, &winners);
+            ops += self
+                .layer2
+                .hebbian_update(target as u32, &winner_set, step, ltd);
+            if anti_hebbian {
+                // Lateral-inhibition LTD: depress the strongest
+                // non-target output on the active winners, at LTD
+                // magnitude. This keeps clamped weights carrying
+                // frequency information — with an ambiguous context
+                // (e.g. a stride body vs. its wrap) both target rows
+                // would otherwise saturate at the clamp and confidence
+                // would stall at 1/n. Full-strength depression is
+                // avoided because a single ambiguous transition would
+                // then erode a dominant association every cycle.
+                let mut comp: Option<usize> = None;
+                for (i, &s) in self.out_scores.iter().enumerate() {
+                    if i != target && s > 0 && comp.is_none_or(|c| s > self.out_scores[c]) {
+                        comp = Some(i);
+                    }
+                }
+                if let Some(c) = comp {
+                    ops += self.layer2.anti_update(c as u32, &winner_set, ltd);
+                }
+            }
+        }
+        self.advance_recurrent(pattern, &winners);
+        HebbianOutcome {
+            predicted,
+            confidence: outcome_conf,
+            correct: predicted == target,
+            ops,
+        }
+    }
+
+    /// Autoregressive rollout: predicts `steps` future classes starting
+    /// from `pattern`, re-encoding each prediction with `encode`. Does
+    /// not disturb the live recurrent state or weights.
+    pub fn rollout(
+        &mut self,
+        pattern: &[u32],
+        steps: usize,
+        mut encode: impl FnMut(usize) -> Vec<u32>,
+    ) -> Vec<usize> {
+        self.rollout_top_k(pattern, steps, 1, &mut encode)
+            .into_iter()
+            .map(|v| v[0])
+            .collect()
+    }
+
+    /// Like [`rollout`](Self::rollout) but returns the `width` highest-
+    /// scoring classes at each step (feeding back the top-1) — the
+    /// §5.2 prefetch-width knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn rollout_top_k(
+        &mut self,
+        pattern: &[u32],
+        steps: usize,
+        width: usize,
+        mut encode: impl FnMut(usize) -> Vec<u32>,
+    ) -> Vec<Vec<usize>> {
+        self.rollout_top_k_with_confidence(pattern, steps, width, &mut encode)
+            .0
+    }
+
+    /// [`rollout_top_k`](Self::rollout_top_k) that also reports the
+    /// normalized confidence of the *first* step's top prediction —
+    /// the signal confidence-gated issuing (§5.2) filters on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn rollout_top_k_with_confidence(
+        &mut self,
+        pattern: &[u32],
+        steps: usize,
+        width: usize,
+        mut encode: impl FnMut(usize) -> Vec<u32>,
+    ) -> (Vec<Vec<usize>>, f32) {
+        assert!(width > 0, "width must be positive");
+        let saved = self.recurrent.clone();
+        let mut preds = Vec::with_capacity(steps);
+        let mut current: Vec<u32> = pattern.to_vec();
+        let mut first_conf = 0.0;
+        for step in 0..steps {
+            let active = self.active_inputs(&current);
+            let (winners, _) = self.forward(&active);
+            let top = self.top_predictions(width);
+            let p = top[0];
+            if step == 0 {
+                first_conf = self.confidence_of(p);
+            }
+            preds.push(top);
+            self.advance_recurrent(&current, &winners);
+            current = encode(p);
+        }
+        self.recurrent = saved;
+        (preds, first_conf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One-hot helper.
+    fn oh(t: usize) -> Vec<u32> {
+        vec![t as u32]
+    }
+
+    #[test]
+    fn learns_constant_stride_mapping() {
+        let mut net = HebbianNetwork::new(HebbianConfig::tiny());
+        // Constant stride: delta class 3 always follows delta class 3.
+        let mut last = HebbianOutcome {
+            predicted: 0,
+            confidence: 0.0,
+            correct: false,
+            ops: 0,
+        };
+        for _ in 0..100 {
+            last = net.train_step(&oh(3), 3);
+        }
+        assert!(last.correct, "should predict the repeated class");
+        assert!(last.confidence > 0.5, "confidence {}", last.confidence);
+    }
+
+    #[test]
+    fn learns_a_delta_cycle() {
+        let mut net = HebbianNetwork::new(HebbianConfig::tiny());
+        let cycle = [1usize, 5, 2, 9];
+        let mut correct = 0;
+        let mut total = 0;
+        for epoch in 0..200 {
+            for w in 0..cycle.len() {
+                let o = net.train_step(&oh(cycle[w]), cycle[(w + 1) % cycle.len()]);
+                if epoch >= 150 {
+                    total += 1;
+                    if o.correct {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            correct as f32 / total as f32 > 0.9,
+            "late-training accuracy {}/{}",
+            correct,
+            total
+        );
+    }
+
+    #[test]
+    fn recurrent_state_disambiguates_context() {
+        // Sequence where class 2 is followed by 7 in one context and by
+        // 11 in another: 2 -> 7 -> 2' ... needs memory. Cycle:
+        // [2, 7, 2, 11]: after (prev=11) 2 -> 7; after (prev=7) 2 -> 11.
+        let mut net = HebbianNetwork::new(HebbianConfig::tiny());
+        let cycle = [2usize, 7, 2, 11];
+        let mut correct = 0;
+        let mut total = 0;
+        for epoch in 0..400 {
+            for w in 0..cycle.len() {
+                let o = net.train_step(&oh(cycle[w]), cycle[(w + 1) % cycle.len()]);
+                if epoch >= 300 {
+                    total += 1;
+                    if o.correct {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        let acc = correct as f32 / total as f32;
+        assert!(
+            acc > 0.75,
+            "context-dependent accuracy {acc} ({correct}/{total})"
+        );
+    }
+
+    #[test]
+    fn infer_does_not_change_state_or_weights() {
+        let mut net = HebbianNetwork::new(HebbianConfig::tiny());
+        for _ in 0..20 {
+            net.train_step(&oh(4), 4);
+        }
+        let rec = net.recurrent_state().to_vec();
+        let a = net.infer(&oh(4), 4);
+        let b = net.infer(&oh(4), 4);
+        assert_eq!(a.predicted, b.predicted);
+        assert_eq!(net.recurrent_state(), rec.as_slice());
+    }
+
+    #[test]
+    fn scaled_training_with_zero_rate_is_a_noop_on_weights() {
+        let mut net = HebbianNetwork::new(HebbianConfig::tiny());
+        for _ in 0..20 {
+            net.train_step(&oh(4), 4);
+        }
+        // Zero-rate steps still advance the recurrent state, so reset
+        // it before each probe to compare weights alone.
+        net.reset_state();
+        let before = net.infer(&oh(4), 4).confidence;
+        for _ in 0..50 {
+            net.train_step_scaled(&oh(9), 9, 0.0);
+        }
+        net.reset_state();
+        let after = net.infer(&oh(4), 4).confidence;
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn paper_scale_parameter_count_matches_table2() {
+        let net = HebbianNetwork::new(HebbianConfig::paper_table2());
+        // Table 2 lists 49 k integer parameters.
+        assert_eq!(net.param_count(), 49_000);
+    }
+
+    #[test]
+    fn inference_ops_are_paper_scale() {
+        let mut net = HebbianNetwork::new(HebbianConfig::paper_table2());
+        for _ in 0..5 {
+            net.train_step(&oh(3), 3);
+        }
+        let o = net.infer_advance(&oh(3), 3);
+        // Table 2 lists 14 k INT inference ops; ours must land in the
+        // same decade and far below the LSTM's >170 k.
+        assert!(
+            (3_000..30_000).contains(&o.ops),
+            "inference ops {}",
+            o.ops
+        );
+    }
+
+    #[test]
+    fn training_ops_exceed_inference_ops() {
+        let mut net = HebbianNetwork::new(HebbianConfig::paper_table2());
+        let i = net.infer(&oh(3), 3).ops;
+        let t = net.train_step(&oh(3), 3).ops;
+        assert!(t > i, "training {} should exceed inference {}", t, i);
+    }
+
+    #[test]
+    fn rollout_restores_state() {
+        let mut net = HebbianNetwork::new(HebbianConfig::tiny());
+        let cycle = [1usize, 5, 2, 9];
+        for _ in 0..200 {
+            for w in 0..cycle.len() {
+                net.train_step(&oh(cycle[w]), cycle[(w + 1) % cycle.len()]);
+            }
+        }
+        let rec = net.recurrent_state().to_vec();
+        let preds = net.rollout(&oh(1), 3, |t| vec![t as u32]);
+        assert_eq!(net.recurrent_state(), rec.as_slice());
+        assert_eq!(preds.len(), 3);
+        // First prediction continues the learned cycle.
+        assert_eq!(preds[0], 5);
+    }
+
+    #[test]
+    fn top_predictions_are_ordered_and_sized() {
+        let mut net = HebbianNetwork::new(HebbianConfig::tiny());
+        for _ in 0..50 {
+            net.train_step(&oh(3), 7);
+        }
+        let _ = net.infer(&oh(3), 7);
+        let top = net.top_predictions(4);
+        assert_eq!(top.len(), 4);
+        assert_eq!(top[0], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn out_of_range_target_panics() {
+        let mut net = HebbianNetwork::new(HebbianConfig::tiny());
+        net.train_step(&oh(1), 400);
+    }
+}

@@ -1,0 +1,289 @@
+//! Sparsely connected integer weight layers with the Eq.-1 Hebbian
+//! update.
+//!
+//! Connectivity is fixed at construction: every output unit draws a
+//! fixed-size random subset of input units (the paper's "a node
+//! connects to only 1-25 % of the nodes in adjacent layers"). Weights
+//! are `i16`, clamped to a configurable magnitude; all arithmetic on
+//! the forward and update paths is integer.
+//!
+//! The layer keeps two adjacency views over one flat weight array:
+//! input-major (for the forward pass, which iterates the few *active*
+//! inputs) and output-major (for the Hebbian update, which walks all
+//! incoming connections of an *active output*, because Eq. 1
+//! potentiates active inputs and depresses inactive ones).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::bitset::BitSet;
+
+/// A sparse integer-weight layer.
+#[derive(Debug, Clone)]
+pub struct SparseLayer {
+    inputs: usize,
+    outputs: usize,
+    /// Incoming connections per output unit.
+    fan_in: usize,
+    /// Weight magnitude clamp.
+    clamp: i16,
+    /// Flat weight storage, one slot per connection, grouped by output:
+    /// slot `o * fan_in + j` is output `o`'s `j`-th incoming weight.
+    weights: Vec<i16>,
+    /// `sources[o * fan_in + j]` = input index of that connection.
+    sources: Vec<u32>,
+    /// Input-major view: `out_edges[i]` lists `(output, slot)` pairs.
+    out_edges: Vec<Vec<(u32, u32)>>,
+}
+
+impl SparseLayer {
+    /// Builds a layer of `outputs` units, each sampling
+    /// `ceil(connectivity * inputs)` distinct incoming connections,
+    /// with initial weights uniform in `[-init_mag, init_mag]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero, `connectivity` is outside
+    /// `(0, 1]`, or `init_mag` is negative.
+    pub fn new(
+        inputs: usize,
+        outputs: usize,
+        connectivity: f64,
+        clamp: i16,
+        init_mag: i16,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(inputs > 0 && outputs > 0, "zero-sized layer");
+        assert!(
+            connectivity > 0.0 && connectivity <= 1.0,
+            "connectivity must be in (0, 1]"
+        );
+        assert!(clamp > 0, "clamp must be positive");
+        assert!(init_mag >= 0, "init_mag must be non-negative");
+        let fan_in = ((inputs as f64 * connectivity).ceil() as usize).max(1);
+        let mut weights = vec![0i16; outputs * fan_in];
+        let mut sources = vec![0u32; outputs * fan_in];
+        let mut out_edges = vec![Vec::new(); inputs];
+        let mut pool: Vec<u32> = (0..inputs as u32).collect();
+        for o in 0..outputs {
+            pool.shuffle(rng);
+            for (j, &i) in pool[..fan_in].iter().enumerate() {
+                let slot = (o * fan_in + j) as u32;
+                sources[slot as usize] = i;
+                out_edges[i as usize].push((o as u32, slot));
+                // Random initial weights break winner ties; wider
+                // ranges give a fixed layer better pattern separation.
+                weights[slot as usize] = rng.gen_range(-init_mag..=init_mag);
+            }
+        }
+        Self {
+            inputs,
+            outputs,
+            fan_in,
+            clamp,
+            weights,
+            sources,
+            out_edges,
+        }
+    }
+
+    /// Input dimension.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Output dimension.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Incoming connections per output unit.
+    pub fn fan_in(&self) -> usize {
+        self.fan_in
+    }
+
+    /// Total number of connections (the layer's parameter count).
+    pub fn param_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Accumulates `scores[o] += w(i, o)` for every present connection
+    /// from each active input `i`. Returns the number of integer
+    /// operations performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` has the wrong length or an input index is out
+    /// of range.
+    pub fn forward(&self, active_inputs: &[u32], scores: &mut [i32]) -> usize {
+        assert_eq!(scores.len(), self.outputs, "score buffer length mismatch");
+        let mut ops = 0;
+        for &i in active_inputs {
+            let edges = &self.out_edges[i as usize];
+            for &(o, slot) in edges {
+                scores[o as usize] += self.weights[slot as usize] as i32;
+            }
+            ops += edges.len();
+        }
+        ops
+    }
+
+    /// Applies the paper's Eq.-1 Hebbian update for one active output:
+    /// every incoming weight from an active input is incremented by
+    /// `pot` (potentiation), every incoming weight from an inactive
+    /// input decremented by `dep` (depression), with clamping. Returns
+    /// integer ops performed.
+    ///
+    /// Eq. 1 as printed is symmetric (`pot == dep`); asymmetric
+    /// magnitudes (LTP > LTD, as in biological synapses) are required
+    /// when one output class must respond in several distinct contexts,
+    /// because symmetric depression cancels everything outside the
+    /// intersection of the contexts' winner sets. See DESIGN.md.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range or `active_inputs` has the
+    /// wrong capacity.
+    pub fn hebbian_update(
+        &mut self,
+        output: u32,
+        active_inputs: &BitSet,
+        pot: i16,
+        dep: i16,
+    ) -> usize {
+        assert!((output as usize) < self.outputs, "output out of range");
+        assert_eq!(active_inputs.len(), self.inputs, "bitset capacity mismatch");
+        let base = output as usize * self.fan_in;
+        for j in 0..self.fan_in {
+            let slot = base + j;
+            let src = self.sources[slot] as usize;
+            let delta = if active_inputs.contains(src) { pot } else { -dep };
+            self.weights[slot] = (self.weights[slot] + delta).clamp(-self.clamp, self.clamp);
+        }
+        2 * self.fan_in
+    }
+
+    /// Anti-Hebbian depression of one output: decrements incoming
+    /// weights from *active* inputs (used to push down a false winner).
+    /// Returns integer ops performed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is out of range or `active_inputs` has the
+    /// wrong capacity.
+    pub fn anti_update(&mut self, output: u32, active_inputs: &BitSet, step: i16) -> usize {
+        assert!((output as usize) < self.outputs, "output out of range");
+        assert_eq!(active_inputs.len(), self.inputs, "bitset capacity mismatch");
+        let base = output as usize * self.fan_in;
+        let mut ops = 0;
+        for j in 0..self.fan_in {
+            let slot = base + j;
+            let src = self.sources[slot] as usize;
+            if active_inputs.contains(src) {
+                self.weights[slot] = (self.weights[slot] - step).clamp(-self.clamp, self.clamp);
+                ops += 2;
+            }
+        }
+        ops
+    }
+
+    /// The weight of the connection into `output` from `input`, if the
+    /// connection exists.
+    pub fn weight(&self, input: u32, output: u32) -> Option<i16> {
+        let base = output as usize * self.fan_in;
+        (0..self.fan_in)
+            .find(|&j| self.sources[base + j] == input)
+            .map(|j| self.weights[base + j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(inputs: usize, outputs: usize, conn: f64) -> SparseLayer {
+        let mut rng = StdRng::seed_from_u64(11);
+        SparseLayer::new(inputs, outputs, conn, 64, 1, &mut rng)
+    }
+
+    #[test]
+    fn connectivity_fixes_fan_in() {
+        let l = layer(256, 100, 0.125);
+        assert_eq!(l.fan_in(), 32);
+        assert_eq!(l.param_count(), 3200);
+    }
+
+    #[test]
+    fn forward_only_touches_active_fan_out() {
+        let l = layer(64, 32, 0.25);
+        let mut scores = vec![0i32; 32];
+        let ops = l.forward(&[3], &mut scores);
+        // Input 3's fan-out is roughly connectivity * outputs; ops must
+        // equal the edges touched exactly.
+        assert_eq!(ops, l.out_edges[3].len());
+    }
+
+    #[test]
+    fn hebbian_update_potentiates_active_and_depresses_inactive() {
+        let mut l = layer(16, 4, 1.0); // Full connectivity for determinism.
+        let active = BitSet::from_indices(16, &[2, 5]);
+        let w2_before = l.weight(2, 1).unwrap();
+        let w7_before = l.weight(7, 1).unwrap();
+        l.hebbian_update(1, &active, 3, 3);
+        assert_eq!(l.weight(2, 1).unwrap(), (w2_before + 3).clamp(-64, 64));
+        assert_eq!(l.weight(7, 1).unwrap(), (w7_before - 3).clamp(-64, 64));
+    }
+
+    #[test]
+    fn weights_clamp_at_bounds() {
+        let mut l = layer(8, 2, 1.0);
+        let active = BitSet::from_indices(8, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        for _ in 0..100 {
+            l.hebbian_update(0, &active, 10, 10);
+        }
+        for i in 0..8 {
+            assert_eq!(l.weight(i, 0).unwrap(), 64);
+        }
+    }
+
+    #[test]
+    fn anti_update_only_touches_active_inputs() {
+        let mut l = layer(8, 2, 1.0);
+        let active = BitSet::from_indices(8, &[1]);
+        let w1 = l.weight(1, 0).unwrap();
+        let w2 = l.weight(2, 0).unwrap();
+        l.anti_update(0, &active, 5);
+        assert_eq!(l.weight(1, 0).unwrap(), (w1 - 5).clamp(-64, 64));
+        assert_eq!(l.weight(2, 0).unwrap(), w2);
+    }
+
+    #[test]
+    fn repeated_association_raises_score() {
+        let mut l = layer(32, 8, 0.5);
+        let active_vec: Vec<u32> = vec![4, 9, 13];
+        let active = BitSet::from_indices(32, &active_vec);
+        let mut before = vec![0i32; 8];
+        l.forward(&active_vec, &mut before);
+        for _ in 0..10 {
+            l.hebbian_update(6, &active, 1, 1);
+        }
+        let mut after = vec![0i32; 8];
+        l.forward(&active_vec, &mut after);
+        assert!(
+            after[6] > before[6],
+            "association should strengthen: {} -> {}",
+            before[6],
+            after[6]
+        );
+    }
+
+    #[test]
+    fn deterministic_construction_from_seed() {
+        let a = layer(64, 64, 0.125);
+        let b = layer(64, 64, 0.125);
+        assert_eq!(a.sources, b.sources);
+        assert_eq!(a.weights, b.weights);
+    }
+}

@@ -1,0 +1,29 @@
+//! Page-granular memory-hierarchy simulator.
+//!
+//! This crate provides the substrate on which every prefetcher in the
+//! HNP project is evaluated, mirroring the paper's Fig.-1 deployment:
+//! a local memory holds a bounded set of pages; the miss stream feeds
+//! a [`prefetcher::Prefetcher`]; predicted pages are
+//! fetched ahead of demand subject to latency and bandwidth limits.
+//!
+//! * [`evict`] — LRU / FIFO / CLOCK / random residency policies;
+//! * [`memory`] — the resident-page store;
+//! * [`prefetcher`] — the prefetcher interface and feedback events;
+//! * [`deltas`] — the bounded delta vocabulary and miss-history
+//!   window shared by the learned prefetchers;
+//! * [`sim`] — the driver loop and metrics (misses removed, accuracy,
+//!   coverage, timeliness, pollution).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deltas;
+pub mod evict;
+pub mod memory;
+pub mod prefetcher;
+pub mod sim;
+
+pub use deltas::{DeltaVocab, MissHistory};
+pub use evict::EvictionPolicy;
+pub use prefetcher::{DemuxPrefetcher, MissEvent, NoPrefetcher, Prefetcher};
+pub use sim::{SimConfig, SimReport, Simulator};

@@ -1,0 +1,181 @@
+//! The resident-page store: a capacity-bounded local memory.
+
+use std::collections::HashMap;
+
+use crate::evict::{EvictionPolicy, Evictor};
+
+/// Metadata kept per resident page for prefetch accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Whether the page arrived via prefetch (vs. demand fetch).
+    pub prefetched: bool,
+    /// Whether the page has been demanded since arrival.
+    pub touched: bool,
+    /// Arrival tick.
+    pub arrived: u64,
+}
+
+/// A capacity-bounded page memory with a pluggable eviction policy.
+pub struct LocalMemory {
+    capacity: usize,
+    evictor: Box<dyn Evictor>,
+    meta: HashMap<u64, PageMeta>,
+}
+
+impl LocalMemory {
+    /// Creates a memory of `capacity` pages with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, policy: EvictionPolicy) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            evictor: policy.build(),
+            meta: HashMap::new(),
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident page count.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Whether `page` is resident.
+    pub fn contains(&self, page: u64) -> bool {
+        self.meta.contains_key(&page)
+    }
+
+    /// Metadata of a resident page.
+    pub fn meta(&self, page: u64) -> Option<&PageMeta> {
+        self.meta.get(&page)
+    }
+
+    /// Records a demand access to a resident page; returns `false` if
+    /// the page is not resident. Marks prefetched pages as touched
+    /// (useful-prefetch accounting).
+    pub fn touch(&mut self, page: u64) -> bool {
+        match self.meta.get_mut(&page) {
+            Some(m) => {
+                m.touched = true;
+                self.evictor.on_access(page);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `page`, evicting if full. Returns the evicted page's
+    /// number and metadata, if any. Inserting a resident page is a
+    /// no-op returning `None`.
+    pub fn insert(&mut self, page: u64, prefetched: bool, now: u64) -> Option<(u64, PageMeta)> {
+        if self.contains(page) {
+            return None;
+        }
+        let evicted = if self.meta.len() >= self.capacity {
+            let victim = self.evictor.evict();
+            let m = self
+                .meta
+                .remove(&victim)
+                .expect("victim must have metadata");
+            Some((victim, m))
+        } else {
+            None
+        };
+        self.evictor.on_insert(page);
+        self.meta.insert(
+            page,
+            PageMeta {
+                prefetched,
+                touched: false,
+                arrived: now,
+            },
+        );
+        evicted
+    }
+
+    /// Invalidates a page (e.g. remote revocation in the disaggregated
+    /// system). Returns its metadata if it was resident.
+    pub fn invalidate(&mut self, page: u64) -> Option<PageMeta> {
+        self.evictor.remove(page);
+        self.meta.remove(&page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_until_capacity_then_evict() {
+        let mut m = LocalMemory::new(3, EvictionPolicy::Lru);
+        assert!(m.insert(1, false, 0).is_none());
+        assert!(m.insert(2, false, 1).is_none());
+        assert!(m.insert(3, false, 2).is_none());
+        assert_eq!(m.len(), 3);
+        let (victim, _) = m.insert(4, false, 3).expect("eviction");
+        assert_eq!(victim, 1, "LRU victim");
+        assert_eq!(m.len(), 3);
+        assert!(!m.contains(1) && m.contains(4));
+    }
+
+    #[test]
+    fn touch_refreshes_lru_order_and_marks_prefetch_used() {
+        let mut m = LocalMemory::new(2, EvictionPolicy::Lru);
+        m.insert(1, true, 0);
+        m.insert(2, false, 1);
+        assert!(m.touch(1));
+        assert!(m.meta(1).unwrap().touched);
+        let (victim, meta) = m.insert(3, false, 2).unwrap();
+        assert_eq!(victim, 2, "2 is now least recent");
+        assert!(!meta.prefetched);
+    }
+
+    #[test]
+    fn touch_missing_page_is_false() {
+        let mut m = LocalMemory::new(2, EvictionPolicy::Lru);
+        assert!(!m.touch(99));
+    }
+
+    #[test]
+    fn double_insert_is_noop() {
+        let mut m = LocalMemory::new(2, EvictionPolicy::Lru);
+        m.insert(1, false, 0);
+        assert!(m.insert(1, true, 5).is_none());
+        // Original metadata is preserved.
+        assert!(!m.meta(1).unwrap().prefetched);
+    }
+
+    #[test]
+    fn invalidate_removes_from_policy_too() {
+        let mut m = LocalMemory::new(2, EvictionPolicy::Lru);
+        m.insert(1, false, 0);
+        m.insert(2, false, 0);
+        assert!(m.invalidate(1).is_some());
+        assert!(m.invalidate(1).is_none());
+        // Room for two more inserts without eviction.
+        assert!(m.insert(3, false, 1).is_none());
+        let (victim, _) = m.insert(4, false, 2).unwrap();
+        assert_eq!(victim, 2);
+    }
+
+    #[test]
+    fn evicted_metadata_reports_unused_prefetch() {
+        let mut m = LocalMemory::new(1, EvictionPolicy::Lru);
+        m.insert(1, true, 0);
+        let (victim, meta) = m.insert(2, false, 1).unwrap();
+        assert_eq!(victim, 1);
+        assert!(meta.prefetched && !meta.touched, "pollution case");
+    }
+}

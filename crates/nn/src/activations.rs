@@ -1,0 +1,145 @@
+//! Numerically stable activation functions and small vector helpers.
+
+/// Logistic sigmoid, `1 / (1 + e^-x)`, computed stably for large `|x|`.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Derivative of sigmoid expressed through its output `s = sigmoid(x)`.
+pub fn sigmoid_deriv_from_output(s: f32) -> f32 {
+    s * (1.0 - s)
+}
+
+/// Derivative of tanh expressed through its output `t = tanh(x)`.
+pub fn tanh_deriv_from_output(t: f32) -> f32 {
+    1.0 - t * t
+}
+
+/// In-place stable softmax over `xs`.
+///
+/// Subtracts the maximum before exponentiating so that no element
+/// overflows. An empty slice is left untouched.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    // `sum >= 1` because one exponent is exactly `e^0 = 1`, so the
+    // division is always well-defined.
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Index of the maximum element; ties resolve to the lowest index.
+///
+/// Returns `None` for an empty slice.
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Indices of the `k` largest elements, in descending value order.
+///
+/// Returns fewer than `k` indices if the slice is shorter than `k`.
+pub fn top_k(xs: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sigmoid_is_monotonic() {
+        let mut prev = sigmoid(-5.0);
+        for i in -49..50 {
+            let s = sigmoid(i as f32 * 0.1);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut xs = vec![1.0, 2.0, 3.0];
+        softmax_in_place(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+    }
+
+    #[test]
+    fn softmax_survives_huge_logits() {
+        let mut xs = vec![1e30, 1e30, -1e30];
+        softmax_in_place(&mut xs);
+        assert!((xs[0] - 0.5).abs() < 1e-6);
+        assert!((xs[1] - 0.5).abs() < 1e-6);
+        assert_eq!(xs[2], 0.0);
+    }
+
+    #[test]
+    fn softmax_empty_is_noop() {
+        let mut xs: Vec<f32> = vec![];
+        softmax_in_place(&mut xs);
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn argmax_picks_first_of_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn top_k_returns_descending() {
+        let xs = [0.1, 0.9, 0.5, 0.7];
+        assert_eq!(top_k(&xs, 3), vec![1, 3, 2]);
+        assert_eq!(top_k(&xs, 10).len(), 4);
+    }
+
+    #[test]
+    fn derivative_identities_hold() {
+        for &x in &[-2.0f32, -0.3, 0.0, 0.7, 3.0] {
+            let s = sigmoid(x);
+            let eps = 1e-3;
+            let numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2.0 * eps);
+            assert!((sigmoid_deriv_from_output(s) - numeric).abs() < 1e-3);
+            let t = tanh(x);
+            let numeric_t = (tanh(x + eps) - tanh(x - eps)) / (2.0 * eps);
+            assert!((tanh_deriv_from_output(t) - numeric_t).abs() < 1e-3);
+        }
+    }
+}

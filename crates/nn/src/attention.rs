@@ -1,0 +1,346 @@
+//! Multi-head causal self-attention, forward and backward.
+//!
+//! The building block of the transformer prefetcher baseline (§2 of
+//! the paper counts transformer-based prefetchers among the prior DL
+//! work). Sequence lengths in prefetching are tiny (a miss-history
+//! window), so the implementation favours clarity over blocking.
+
+#![allow(clippy::needless_range_loop)] // Index loops mirror the math.
+
+use rand::Rng;
+
+use crate::activations::softmax_in_place;
+use crate::init;
+use crate::matrix::Matrix;
+
+/// Multi-head causal self-attention over `dim`-wide token rows.
+#[derive(Debug, Clone)]
+pub struct CausalSelfAttention {
+    dim: usize,
+    heads: usize,
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    wo: Matrix,
+    gwq: Matrix,
+    gwk: Matrix,
+    gwv: Matrix,
+    gwo: Matrix,
+}
+
+/// Forward cache for the backward pass.
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Per-head attention weights, each `S x S`.
+    attn: Vec<Matrix>,
+    /// Concatenated head outputs before the output projection.
+    o: Matrix,
+}
+
+impl CausalSelfAttention {
+    /// Creates an attention block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` does not divide `dim`.
+    pub fn new(dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
+        assert!(heads > 0 && dim.is_multiple_of(heads), "heads must divide dim");
+        Self {
+            dim,
+            heads,
+            wq: init::xavier_uniform(dim, dim, rng),
+            wk: init::xavier_uniform(dim, dim, rng),
+            wv: init::xavier_uniform(dim, dim, rng),
+            wo: init::xavier_uniform(dim, dim, rng),
+            gwq: Matrix::zeros(dim, dim),
+            gwk: Matrix::zeros(dim, dim),
+            gwv: Matrix::zeros(dim, dim),
+            gwo: Matrix::zeros(dim, dim),
+        }
+    }
+
+    /// Parameter count.
+    pub fn param_count(&self) -> usize {
+        4 * self.dim * self.dim
+    }
+
+    /// Head width.
+    fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+
+    /// Forward over a sequence `x` (`S x dim`); returns the output and
+    /// the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn forward(&self, x: &Matrix) -> (Matrix, AttentionCache) {
+        assert_eq!(x.cols(), self.dim, "input width mismatch");
+        let s = x.rows();
+        let dh = self.head_dim();
+        let q = x.matmul(&self.wq);
+        let k = x.matmul(&self.wk);
+        let v = x.matmul(&self.wv);
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut o = Matrix::zeros(s, self.dim);
+        let mut attn = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let c0 = h * dh;
+            let mut a = Matrix::zeros(s, s);
+            for i in 0..s {
+                // Causal: attend to positions 0..=i.
+                let mut row = vec![f32::NEG_INFINITY; s];
+                for (j, r) in row.iter_mut().enumerate().take(i + 1) {
+                    let mut dot = 0.0;
+                    for d in 0..dh {
+                        dot += q[(i, c0 + d)] * k[(j, c0 + d)];
+                    }
+                    *r = dot * scale;
+                }
+                softmax_in_place(&mut row[..i + 1]);
+                for j in i + 1..s {
+                    row[j] = 0.0;
+                }
+                for (j, &val) in row.iter().enumerate() {
+                    a[(i, j)] = val;
+                }
+            }
+            // O_h = A V_h.
+            for i in 0..s {
+                for d in 0..dh {
+                    let mut acc = 0.0;
+                    for j in 0..=i {
+                        acc += a[(i, j)] * v[(j, c0 + d)];
+                    }
+                    o[(i, c0 + d)] = acc;
+                }
+            }
+            attn.push(a);
+        }
+        let y = o.matmul(&self.wo);
+        (
+            y,
+            AttentionCache {
+                x: x.clone(),
+                q,
+                k,
+                v,
+                attn,
+                o,
+            },
+        )
+    }
+
+    /// Backward: accumulates weight gradients and returns `dx`.
+    pub fn backward(&mut self, cache: &AttentionCache, dy: &Matrix) -> Matrix {
+        let s = cache.x.rows();
+        let dh = self.head_dim();
+        let scale = 1.0 / (dh as f32).sqrt();
+        // Output projection.
+        let ot = cache.o.transpose();
+        self.gwo.add_assign(&ot.matmul(dy));
+        let d_o = dy.matmul(&self.wo.transpose());
+        let mut dq = Matrix::zeros(s, self.dim);
+        let mut dk = Matrix::zeros(s, self.dim);
+        let mut dv = Matrix::zeros(s, self.dim);
+        for h in 0..self.heads {
+            let c0 = h * dh;
+            let a = &cache.attn[h];
+            // dV_h = A^T dO_h; dA = dO_h V_h^T (causal entries only).
+            for i in 0..s {
+                // dA row and softmax backward.
+                let mut da = vec![0.0f32; i + 1];
+                for (j, daj) in da.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for d in 0..dh {
+                        acc += d_o[(i, c0 + d)] * cache.v[(j, c0 + d)];
+                    }
+                    *daj = acc;
+                }
+                let dot: f32 = (0..=i).map(|j| a[(i, j)] * da[j]).sum();
+                for j in 0..=i {
+                    let ds = a[(i, j)] * (da[j] - dot) * scale;
+                    for d in 0..dh {
+                        dq[(i, c0 + d)] += ds * cache.k[(j, c0 + d)];
+                        dk[(j, c0 + d)] += ds * cache.q[(i, c0 + d)];
+                    }
+                }
+                for j in 0..=i {
+                    let aij = a[(i, j)];
+                    for d in 0..dh {
+                        dv[(j, c0 + d)] += aij * d_o[(i, c0 + d)];
+                    }
+                }
+            }
+        }
+        // Weight gradients and input gradient.
+        let xt = cache.x.transpose();
+        self.gwq.add_assign(&xt.matmul(&dq));
+        self.gwk.add_assign(&xt.matmul(&dk));
+        self.gwv.add_assign(&xt.matmul(&dv));
+        let mut dx = dq.matmul(&self.wq.transpose());
+        dx.add_assign(&dk.matmul(&self.wk.transpose()));
+        dx.add_assign(&dv.matmul(&self.wv.transpose()));
+        dx
+    }
+
+    /// Applies and clears accumulated gradients (clipped SGD).
+    pub fn apply_grads(&mut self, lr: f32, clip: f32) {
+        for (w, g) in [
+            (&mut self.wq, &mut self.gwq),
+            (&mut self.wk, &mut self.gwk),
+            (&mut self.wv, &mut self.gwv),
+            (&mut self.wo, &mut self.gwo),
+        ] {
+            g.clip(clip);
+            w.axpy(-lr, g);
+            g.fill_zero();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn input(s: usize, d: usize) -> Matrix {
+        Matrix::from_fn(s, d, |r, c| ((r * 7 + c * 3) % 11) as f32 * 0.1 - 0.5)
+    }
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let attn = CausalSelfAttention::new(8, 2, &mut rng);
+        let x = input(5, 8);
+        let (y, _) = attn.forward(&x);
+        assert_eq!(y.rows(), 5);
+        assert_eq!(y.cols(), 8);
+    }
+
+    #[test]
+    fn causality_later_tokens_do_not_affect_earlier_outputs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let attn = CausalSelfAttention::new(8, 2, &mut rng);
+        let x1 = input(4, 8);
+        let mut x2 = x1.clone();
+        // Perturb the last token only.
+        for c in 0..8 {
+            x2[(3, c)] += 1.0;
+        }
+        let (y1, _) = attn.forward(&x1);
+        let (y2, _) = attn.forward(&x2);
+        for i in 0..3 {
+            for c in 0..8 {
+                assert!(
+                    (y1[(i, c)] - y2[(i, c)]).abs() < 1e-6,
+                    "position {i} must not see the future"
+                );
+            }
+        }
+        // The last position does change.
+        let moved: f32 = (0..8).map(|c| (y1[(3, c)] - y2[(3, c)]).abs()).sum();
+        assert!(moved > 1e-3);
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one_over_the_causal_prefix() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let attn = CausalSelfAttention::new(6, 1, &mut rng);
+        let x = input(4, 6);
+        let (_, cache) = attn.forward(&x);
+        for i in 0..4 {
+            let sum: f32 = (0..4).map(|j| cache.attn[0][(i, j)]).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+            for j in i + 1..4 {
+                assert_eq!(cache.attn[0][(i, j)], 0.0, "future weight must be zero");
+            }
+        }
+    }
+
+    /// Finite-difference check of input and weight gradients through a
+    /// scalar loss on the last position.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut attn = CausalSelfAttention::new(6, 2, &mut rng);
+        let x = input(3, 6);
+        // Loss = sum of weights * y[last row].
+        let w: Vec<f32> = (0..6).map(|i| 0.2 * i as f32 - 0.5).collect();
+        let loss_of = |attn: &CausalSelfAttention, x: &Matrix| -> f32 {
+            let (y, _) = attn.forward(x);
+            (0..6).map(|c| w[c] * y[(2, c)]).sum()
+        };
+        let (y, cache) = attn.forward(&x);
+        let _ = y;
+        let mut dy = Matrix::zeros(3, 6);
+        for c in 0..6 {
+            dy[(2, c)] = w[c];
+        }
+        let dx = attn.backward(&cache, &dy);
+        let eps = 1e-3;
+        // Input gradient.
+        for &(r, c) in &[(0usize, 0usize), (1, 3), (2, 5), (0, 4)] {
+            let mut xp = x.clone();
+            xp[(r, c)] += eps;
+            let mut xm = x.clone();
+            xm[(r, c)] -= eps;
+            let numeric = (loss_of(&attn, &xp) - loss_of(&attn, &xm)) / (2.0 * eps);
+            assert!(
+                (dx[(r, c)] - numeric).abs() < 2e-3,
+                "dx({r},{c}): {} vs {}",
+                dx[(r, c)],
+                numeric
+            );
+        }
+        // Weight gradients (spot checks on each tensor).
+        let grads = [
+            (attn.gwq.clone(), 0usize),
+            (attn.gwk.clone(), 1),
+            (attn.gwv.clone(), 2),
+            (attn.gwo.clone(), 3),
+        ];
+        for (g, which) in grads {
+            for &(r, c) in &[(0usize, 0usize), (2, 4), (5, 1)] {
+                let mut plus = attn.clone();
+                let mut minus = attn.clone();
+                {
+                    let wp = match which {
+                        0 => &mut plus.wq,
+                        1 => &mut plus.wk,
+                        2 => &mut plus.wv,
+                        _ => &mut plus.wo,
+                    };
+                    wp[(r, c)] += eps;
+                    let wm = match which {
+                        0 => &mut minus.wq,
+                        1 => &mut minus.wk,
+                        2 => &mut minus.wv,
+                        _ => &mut minus.wo,
+                    };
+                    wm[(r, c)] -= eps;
+                }
+                let numeric = (loss_of(&plus, &x) - loss_of(&minus, &x)) / (2.0 * eps);
+                assert!(
+                    (g[(r, c)] - numeric).abs() < 2e-3,
+                    "tensor {which} ({r},{c}): {} vs {}",
+                    g[(r, c)],
+                    numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must divide dim")]
+    fn bad_head_count_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = CausalSelfAttention::new(7, 2, &mut rng);
+    }
+}

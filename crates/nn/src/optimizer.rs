@@ -1,0 +1,169 @@
+//! First-order optimizers over [`Matrix`] parameters.
+//!
+//! The LSTM's online path applies clipped SGD inline for latency
+//! reasons; these standalone optimizers serve offline experiments
+//! (encoder pre-training, ablations) where update quality matters more
+//! than per-step cost.
+
+use crate::matrix::Matrix;
+
+/// Plain SGD with optional momentum and per-element clipping.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// Per-element gradient clip.
+    pub clip: f32,
+    velocity: Option<Matrix>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32, clip: f32) -> Self {
+        Self {
+            lr,
+            momentum,
+            clip,
+            velocity: None,
+        }
+    }
+
+    /// Applies one update of `grad` to `param`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes change between calls.
+    pub fn step(&mut self, param: &mut Matrix, grad: &Matrix) {
+        let mut g = grad.clone();
+        g.clip(self.clip);
+        if self.momentum > 0.0 {
+            let v = self
+                .velocity
+                .get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+            v.scale(self.momentum);
+            v.axpy(1.0, &g);
+            param.axpy(-self.lr, v);
+        } else {
+            param.axpy(-self.lr, &g);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) for a single parameter tensor.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u64,
+    m: Option<Matrix>,
+    v: Option<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the usual defaults for the decay
+    /// constants.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: None,
+            v: None,
+        }
+    }
+
+    /// Applies one Adam update of `grad` to `param`.
+    pub fn step(&mut self, param: &mut Matrix, grad: &Matrix) {
+        self.t += 1;
+        let m = self
+            .m
+            .get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+        let v = self
+            .v
+            .get_or_insert_with(|| Matrix::zeros(param.rows(), param.cols()));
+        let b1 = self.beta1;
+        let b2 = self.beta2;
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let (ps, ms, vs, gs) = (
+            param.as_mut_slice(),
+            m.as_mut_slice(),
+            v.as_mut_slice(),
+            grad.as_slice(),
+        );
+        for i in 0..ps.len() {
+            ms[i] = b1 * ms[i] + (1.0 - b1) * gs[i];
+            vs[i] = b2 * vs[i] + (1.0 - b2) * gs[i] * gs[i];
+            let mhat = ms[i] / bc1;
+            let vhat = vs[i] / bc2;
+            ps[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes `f(x) = (x - 3)^2` elementwise.
+    fn quadratic_grad(param: &Matrix) -> Matrix {
+        Matrix::from_fn(param.rows(), param.cols(), |r, c| 2.0 * (param[(r, c)] - 3.0))
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = Matrix::zeros(2, 2);
+        let mut opt = Sgd::new(0.1, 0.0, 100.0);
+        for _ in 0..200 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!(p.as_slice().iter().all(|&x| (x - 3.0).abs() < 1e-3));
+    }
+
+    #[test]
+    fn momentum_converges_faster_than_plain_sgd() {
+        let run = |momentum: f32| {
+            let mut p = Matrix::zeros(1, 1);
+            let mut opt = Sgd::new(0.02, momentum, 100.0);
+            let mut steps = 0;
+            while (p[(0, 0)] - 3.0).abs() > 1e-2 && steps < 10_000 {
+                let g = quadratic_grad(&p);
+                opt.step(&mut p, &g);
+                steps += 1;
+            }
+            steps
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = Matrix::zeros(3, 1);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let g = quadratic_grad(&p);
+            opt.step(&mut p, &g);
+        }
+        assert!(p.as_slice().iter().all(|&x| (x - 3.0).abs() < 1e-2));
+    }
+
+    #[test]
+    fn sgd_clipping_bounds_step_size() {
+        let mut p = Matrix::zeros(1, 1);
+        let mut opt = Sgd::new(1.0, 0.0, 0.5);
+        let g = Matrix::from_vec(1, 1, vec![1000.0]);
+        opt.step(&mut p, &g);
+        assert_eq!(p[(0, 0)], -0.5);
+    }
+}

@@ -1,0 +1,476 @@
+//! The disaggregated-memory cluster simulator.
+//!
+//! Modeled after the paper's first target (§4, Fig. 6 left): compute
+//! nodes hold a small local memory and fault pages over the network
+//! from a remote memory pool. "CPU cores fault only on one page at a
+//! time, indicating that the prefetcher should be optimized to hide
+//! latency", and "scarce resources on the switch necessitate a
+//! decentralized approach with a separate prefetcher per node".
+//!
+//! Two placements are simulated:
+//!
+//! * **decentralized** — one private prefetcher per node, each seeing
+//!   only its node's miss stream;
+//! * **centralized** — a single prefetcher at the switch, seeing all
+//!   nodes' miss streams interleaved (stream-tagged), as a resource-
+//!   constrained alternative.
+
+use serde::Serialize;
+
+use hnp_memsim::memory::LocalMemory;
+use hnp_memsim::prefetcher::{MissEvent, Prefetcher, PrefetchFeedback};
+use hnp_memsim::EvictionPolicy;
+use hnp_trace::Trace;
+
+/// Cluster parameters.
+#[derive(Debug, Clone)]
+pub struct DisaggConfig {
+    /// Local-memory capacity per node, as a fraction of that node's
+    /// trace footprint.
+    pub local_capacity_frac: f64,
+    /// One-way network latency in ticks (remote fetch = stall).
+    pub link_latency: u64,
+    /// Outstanding prefetches per node.
+    pub max_inflight: usize,
+    /// Prefetches accepted per miss.
+    pub max_issue_per_miss: usize,
+    /// Cluster-wide cap on concurrent transfers through the shared
+    /// switch (demand fetches + prefetches); `0` = uncontended. When
+    /// the switch is saturated, new prefetches are dropped and demand
+    /// fetches queue (§5.2: "systems where the network is the
+    /// bottleneck require a prefetcher that is highly selective").
+    pub shared_link_slots: usize,
+    /// Extra stall ticks per queued transfer ahead of a demand fetch
+    /// on a saturated switch.
+    pub contention_penalty: u64,
+}
+
+impl Default for DisaggConfig {
+    fn default() -> Self {
+        Self {
+            local_capacity_frac: 0.5,
+            link_latency: 100,
+            max_inflight: 16,
+            max_issue_per_miss: 4,
+            shared_link_slots: 0,
+            contention_penalty: 10,
+        }
+    }
+}
+
+/// Per-node counters from one cluster run.
+#[derive(Debug, Clone, Serialize)]
+pub struct NodeReport {
+    /// Node index.
+    pub node: usize,
+    /// Accesses replayed.
+    pub accesses: usize,
+    /// Misses (page absent at access, late prefetches included).
+    pub misses: usize,
+    /// Prefetches issued for this node.
+    pub prefetches_issued: usize,
+    /// Useful prefetches.
+    pub prefetches_useful: usize,
+    /// Prefetches dropped at the saturated shared switch.
+    pub prefetches_dropped: usize,
+    /// Ticks this node spent stalled on the link.
+    pub stall_ticks: u64,
+}
+
+/// Aggregate cluster report.
+#[derive(Debug, Clone, Serialize)]
+pub struct DisaggReport {
+    /// Placement label ("decentralized" / "centralized").
+    pub placement: String,
+    /// Per-node details.
+    pub nodes: Vec<NodeReport>,
+    /// Wall-clock ticks for the whole run (nodes progress in
+    /// lockstep rounds).
+    pub total_ticks: u64,
+}
+
+impl DisaggReport {
+    /// Total misses across nodes.
+    pub fn total_misses(&self) -> usize {
+        self.nodes.iter().map(|n| n.misses).sum()
+    }
+
+    /// Total stall ticks across nodes.
+    pub fn total_stall(&self) -> u64 {
+        self.nodes.iter().map(|n| n.stall_ticks).sum()
+    }
+
+    /// Mean stall ticks per access across the cluster (the latency
+    /// metric §4 cares about).
+    pub fn avg_stall_per_access(&self) -> f64 {
+        let acc: usize = self.nodes.iter().map(|n| n.accesses).sum();
+        if acc == 0 {
+            0.0
+        } else {
+            self.total_stall() as f64 / acc as f64
+        }
+    }
+
+    /// Percentage of `baseline`'s misses removed.
+    pub fn pct_misses_removed(&self, baseline: &DisaggReport) -> f64 {
+        let b = baseline.total_misses();
+        if b == 0 {
+            0.0
+        } else {
+            100.0 * (b as f64 - self.total_misses() as f64) / b as f64
+        }
+    }
+}
+
+/// Per-node simulation state.
+struct NodeState {
+    memory: LocalMemory,
+    /// In-flight prefetches: (page, arrival tick).
+    inflight: Vec<(u64, u64)>,
+    cursor: usize,
+    /// Tick at which this node finishes its current stall.
+    busy_until: u64,
+    report: NodeReport,
+}
+
+/// The cluster simulator.
+pub struct DisaggregatedCluster {
+    cfg: DisaggConfig,
+}
+
+impl DisaggregatedCluster {
+    /// Creates a cluster simulator.
+    pub fn new(cfg: DisaggConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs with one private prefetcher per node (the paper's
+    /// recommended placement). `prefetchers` must have one entry per
+    /// trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len() != prefetchers.len()` or either is
+    /// empty.
+    pub fn run_decentralized(
+        &self,
+        traces: &[Trace],
+        prefetchers: &mut [Box<dyn Prefetcher>],
+    ) -> DisaggReport {
+        assert!(!traces.is_empty(), "no nodes");
+        assert_eq!(traces.len(), prefetchers.len(), "one prefetcher per node");
+        self.run(traces, prefetchers, "decentralized")
+    }
+
+    /// Runs with a single shared prefetcher observing the interleaved
+    /// miss stream of all nodes (stream-tagged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn run_centralized(
+        &self,
+        traces: &[Trace],
+        prefetcher: &mut dyn Prefetcher,
+    ) -> DisaggReport {
+        assert!(!traces.is_empty(), "no nodes");
+        let mut single: Vec<&mut dyn Prefetcher> = vec![prefetcher];
+        self.run_inner(traces, &mut single, true, "centralized")
+    }
+
+    fn run(
+        &self,
+        traces: &[Trace],
+        prefetchers: &mut [Box<dyn Prefetcher>],
+        label: &str,
+    ) -> DisaggReport {
+        let mut refs: Vec<&mut (dyn Prefetcher + '_)> =
+            prefetchers.iter_mut().map(|p| p.as_mut() as _).collect();
+        self.run_inner(traces, &mut refs, false, label)
+    }
+
+    /// The lockstep-round driver. Nodes advance one access per round
+    /// unless stalled; stalls last `link_latency` ticks. With
+    /// `shared == true` all misses go to `prefetchers[0]`.
+    fn run_inner(
+        &self,
+        traces: &[Trace],
+        prefetchers: &mut [&mut dyn Prefetcher],
+        shared: bool,
+        label: &str,
+    ) -> DisaggReport {
+        let mut nodes: Vec<NodeState> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let cap = ((t.footprint_pages() as f64 * self.cfg.local_capacity_frac) as usize)
+                    .max(1);
+                NodeState {
+                    memory: LocalMemory::new(cap, EvictionPolicy::Lru),
+                    inflight: Vec::new(),
+                    cursor: 0,
+                    busy_until: 0,
+                    report: NodeReport {
+                        node: i,
+                        accesses: 0,
+                        misses: 0,
+                        prefetches_issued: 0,
+                        prefetches_useful: 0,
+                        prefetches_dropped: 0,
+                        stall_ticks: 0,
+                    },
+                }
+            })
+            .collect();
+        let mut now: u64 = 0;
+        let slots = self.cfg.shared_link_slots;
+        loop {
+            let mut all_done = true;
+            // Shared-switch occupancy snapshot for this round: nodes
+            // mid-demand-fetch plus all in-flight prefetches.
+            let mut occupancy = nodes.iter().filter(|n| n.busy_until > now).count()
+                + nodes.iter().map(|n| n.inflight.len()).sum::<usize>();
+            for (i, node) in nodes.iter_mut().enumerate() {
+                let trace = &traces[i];
+                if node.cursor >= trace.len() {
+                    continue;
+                }
+                all_done = false;
+                if node.busy_until > now {
+                    continue; // Still stalled on the link.
+                }
+                // Land arrived prefetches (sorted for determinism).
+                node.inflight.sort_unstable();
+                let pf = if shared { 0 } else { i };
+                let mut rest = Vec::new();
+                for &(page, arrival) in &node.inflight {
+                    if arrival <= now {
+                        if let Some((_, meta)) = node.memory.insert(page, true, now) {
+                            if meta.prefetched && !meta.touched {
+                                prefetchers[pf]
+                                    .on_feedback(&PrefetchFeedback::Unused { page });
+                            }
+                        }
+                    } else {
+                        rest.push((page, arrival));
+                    }
+                }
+                node.inflight = rest;
+                // One access this round.
+                let access = trace.accesses()[node.cursor];
+                let page = access.page(trace.page_shift());
+                node.cursor += 1;
+                node.report.accesses += 1;
+                if node.memory.contains(page) {
+                    let fresh = node
+                        .memory
+                        .meta(page)
+                        .map(|m| m.prefetched && !m.touched)
+                        .unwrap_or(false);
+                    node.memory.touch(page);
+                    if fresh {
+                        node.report.prefetches_useful += 1;
+                        prefetchers[pf].on_feedback(&PrefetchFeedback::Useful { page });
+                    }
+                    continue;
+                }
+                // Fault: one page at a time, node stalls for the link.
+                node.report.misses += 1;
+                let in_flight_hit = node.inflight.iter().position(|&(p, _)| p == page);
+                let mut stall = match in_flight_hit {
+                    Some(idx) => {
+                        let (_, arrival) = node.inflight.swap_remove(idx);
+                        arrival.saturating_sub(now)
+                    }
+                    None => self.cfg.link_latency,
+                };
+                // Demand fetches queue behind a saturated switch.
+                if slots > 0 && occupancy > slots {
+                    stall += self.cfg.contention_penalty * (occupancy - slots) as u64;
+                }
+                occupancy += 1;
+                node.report.stall_ticks += stall;
+                node.busy_until = now + stall;
+                node.memory.insert(page, in_flight_hit.is_some(), now + stall);
+                node.memory.touch(page);
+                // Consult the prefetcher at fault time.
+                let miss = MissEvent {
+                    page,
+                    tick: now,
+                    stream: i as u16,
+                };
+                let candidates = prefetchers[pf].on_miss(&miss);
+                let arrival = now + self.cfg.link_latency;
+                let mut accepted = 0;
+                for cand in candidates {
+                    if accepted >= self.cfg.max_issue_per_miss {
+                        break;
+                    }
+                    if node.memory.contains(cand)
+                        || node.inflight.iter().any(|&(p, _)| p == cand)
+                    {
+                        continue;
+                    }
+                    if node.inflight.len() >= self.cfg.max_inflight {
+                        break;
+                    }
+                    // Prefetches never queue: a saturated switch drops
+                    // them (they are not correctness-critical).
+                    if slots > 0 && occupancy >= slots {
+                        node.report.prefetches_dropped += 1;
+                        continue;
+                    }
+                    node.inflight.push((cand, arrival));
+                    node.report.prefetches_issued += 1;
+                    occupancy += 1;
+                    accepted += 1;
+                }
+            }
+            if all_done {
+                break;
+            }
+            now += 1;
+        }
+        DisaggReport {
+            placement: label.to_string(),
+            nodes: nodes.into_iter().map(|n| n.report).collect(),
+            total_ticks: now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnp_memsim::NoPrefetcher;
+    use hnp_trace::Pattern;
+
+    fn traces(n: usize) -> Vec<Trace> {
+        (0..n)
+            .map(|i| Pattern::Stride.generate(1500, i as u64))
+            .collect()
+    }
+
+    struct NextLine;
+    impl Prefetcher for NextLine {
+        fn name(&self) -> &str {
+            "next-line"
+        }
+        fn on_miss(&mut self, miss: &MissEvent) -> Vec<u64> {
+            vec![miss.page + 1, miss.page + 2]
+        }
+    }
+
+    #[test]
+    fn baseline_cluster_thrashes() {
+        let ts = traces(3);
+        let sim = DisaggregatedCluster::new(DisaggConfig::default());
+        let mut pfs: Vec<Box<dyn Prefetcher>> = (0..3)
+            .map(|_| Box::new(NoPrefetcher) as Box<dyn Prefetcher>)
+            .collect();
+        let rep = sim.run_decentralized(&ts, &mut pfs);
+        assert_eq!(rep.nodes.len(), 3);
+        let total_acc: usize = rep.nodes.iter().map(|n| n.accesses).sum();
+        assert_eq!(total_acc, 4500);
+        assert!(rep.avg_stall_per_access() > 40.0, "thrash under 50% capacity");
+    }
+
+    #[test]
+    fn prefetching_reduces_stall_and_misses() {
+        let ts = traces(3);
+        let sim = DisaggregatedCluster::new(DisaggConfig::default());
+        let mut none: Vec<Box<dyn Prefetcher>> = (0..3)
+            .map(|_| Box::new(NoPrefetcher) as Box<dyn Prefetcher>)
+            .collect();
+        let base = sim.run_decentralized(&ts, &mut none);
+        let mut nl: Vec<Box<dyn Prefetcher>> = (0..3)
+            .map(|_| Box::new(NextLine) as Box<dyn Prefetcher>)
+            .collect();
+        let rep = sim.run_decentralized(&ts, &mut nl);
+        assert!(rep.pct_misses_removed(&base) > 40.0);
+        assert!(rep.total_stall() < base.total_stall());
+        assert!(rep.total_ticks < base.total_ticks, "latency hiding speeds the run");
+    }
+
+    #[test]
+    fn centralized_sees_interleaved_streams() {
+        /// Records the stream tags it sees.
+        struct TagRecorder(std::collections::HashSet<u16>);
+        impl Prefetcher for TagRecorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn on_miss(&mut self, miss: &MissEvent) -> Vec<u64> {
+                self.0.insert(miss.stream);
+                Vec::new()
+            }
+        }
+        let ts = traces(3);
+        let sim = DisaggregatedCluster::new(DisaggConfig::default());
+        let mut rec = TagRecorder(Default::default());
+        let rep = sim.run_centralized(&ts, &mut rec);
+        assert_eq!(rec.0.len(), 3, "all three streams reach the prefetcher");
+        assert_eq!(rep.placement, "centralized");
+    }
+
+    #[test]
+    fn higher_link_latency_amplifies_prefetch_benefit() {
+        let ts = traces(2);
+        let benefit = |latency: u64| {
+            let sim = DisaggregatedCluster::new(DisaggConfig {
+                link_latency: latency,
+                ..DisaggConfig::default()
+            });
+            let mut none: Vec<Box<dyn Prefetcher>> = (0..2)
+                .map(|_| Box::new(NoPrefetcher) as Box<dyn Prefetcher>)
+                .collect();
+            let base = sim.run_decentralized(&ts, &mut none);
+            let mut nl: Vec<Box<dyn Prefetcher>> = (0..2)
+                .map(|_| Box::new(NextLine) as Box<dyn Prefetcher>)
+                .collect();
+            let rep = sim.run_decentralized(&ts, &mut nl);
+            base.total_stall() as i64 - rep.total_stall() as i64
+        };
+        assert!(
+            benefit(400) > benefit(50),
+            "absolute stall savings grow with link latency"
+        );
+    }
+
+    #[test]
+    fn switch_contention_queues_demand_and_drops_prefetches() {
+        let ts = traces(4);
+        let free = DisaggregatedCluster::new(DisaggConfig::default());
+        let tight = DisaggregatedCluster::new(DisaggConfig {
+            shared_link_slots: 3,
+            contention_penalty: 20,
+            ..DisaggConfig::default()
+        });
+        let mk = || -> Vec<Box<dyn Prefetcher>> {
+            (0..4).map(|_| Box::new(NextLine) as Box<dyn Prefetcher>).collect()
+        };
+        let mut a = mk();
+        let rep_free = free.run_decentralized(&ts, &mut a);
+        let mut b = mk();
+        let rep_tight = tight.run_decentralized(&ts, &mut b);
+        let dropped: usize = rep_tight.nodes.iter().map(|n| n.prefetches_dropped).sum();
+        assert!(dropped > 0, "saturated switch must drop prefetches");
+        assert!(
+            rep_tight.total_stall() > rep_free.total_stall(),
+            "contention must add stall: {} vs {}",
+            rep_tight.total_stall(),
+            rep_free.total_stall()
+        );
+        let dropped_free: usize = rep_free.nodes.iter().map(|n| n.prefetches_dropped).sum();
+        assert_eq!(dropped_free, 0, "uncontended switch drops nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "one prefetcher per node")]
+    fn mismatched_prefetcher_count_panics() {
+        let ts = traces(2);
+        let sim = DisaggregatedCluster::new(DisaggConfig::default());
+        let mut pfs: Vec<Box<dyn Prefetcher>> = vec![Box::new(NoPrefetcher)];
+        let _ = sim.run_decentralized(&ts, &mut pfs);
+    }
+}

@@ -1,0 +1,24 @@
+//! Target-system simulators for §4 of the paper.
+//!
+//! Two deployment contexts with opposite constraints:
+//!
+//! * [`disagg`] — a disaggregated-memory cluster (after MIND/LegoOS):
+//!   compute nodes fault one page at a time against a remote pool, so
+//!   prefetching is *latency*-oriented, and scarce switch resources
+//!   argue for one small prefetcher per node;
+//! * [`uvm`] — a CPU-GPU unified-virtual-memory system: lockstep SIMT
+//!   execution produces *batches* of concurrent faults handled by a
+//!   centralized driver-side prefetcher that sees all streams
+//!   interleaved, so prefetching is *throughput*-oriented.
+//!
+//! Both reuse the page-memory substrate of `hnp-memsim` and accept any
+//! [`hnp_memsim::Prefetcher`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disagg;
+pub mod uvm;
+
+pub use disagg::{DisaggConfig, DisaggReport, DisaggregatedCluster};
+pub use uvm::{UvmConfig, UvmReport, UvmSim};

@@ -1,0 +1,337 @@
+//! The CPU-GPU unified-virtual-memory simulator.
+//!
+//! Models the paper's second target (§4, Fig. 6 right): warps execute
+//! in lockstep against a shared GPU memory; a step in which any warp
+//! faults stalls the whole machine while the batch of faulting pages
+//! migrates over the interconnect ("the SIMT execution can produce
+//! many concurrent faults, and the lockstep execution model means that
+//! a single fault can stall many threads"). Prefetch decisions are
+//! made centrally in the CPU-side driver, which sees all warps' fault
+//! streams interleaved — hence the paper's suggestion that UVM wants a
+//! *throughput*-optimized, wide prefetcher.
+
+use serde::Serialize;
+
+use hnp_memsim::memory::LocalMemory;
+use hnp_memsim::prefetcher::{MissEvent, Prefetcher, PrefetchFeedback};
+use hnp_memsim::EvictionPolicy;
+use hnp_trace::Trace;
+
+/// UVM simulator parameters.
+#[derive(Debug, Clone)]
+pub struct UvmConfig {
+    /// GPU-memory capacity as a fraction of the combined footprint.
+    pub capacity_frac: f64,
+    /// Ticks to service a fault batch (one migration round trip; the
+    /// batch migrates together).
+    pub fault_latency: u64,
+    /// Extra ticks per page in a batch beyond the first (PCIe
+    /// serialization).
+    pub per_page_latency: u64,
+    /// Outstanding prefetched pages.
+    pub max_inflight: usize,
+    /// Prefetches accepted per fault.
+    pub max_issue_per_fault: usize,
+}
+
+impl Default for UvmConfig {
+    fn default() -> Self {
+        Self {
+            capacity_frac: 0.5,
+            fault_latency: 200,
+            per_page_latency: 5,
+            max_inflight: 64,
+            max_issue_per_fault: 4,
+        }
+    }
+}
+
+/// Counters from one UVM run.
+#[derive(Debug, Clone, Serialize)]
+pub struct UvmReport {
+    /// Prefetcher name.
+    pub prefetcher: String,
+    /// Lockstep steps executed.
+    pub steps: u64,
+    /// Total accesses across warps.
+    pub accesses: usize,
+    /// Fault batches serviced.
+    pub fault_batches: usize,
+    /// Total faulting pages.
+    pub faults: usize,
+    /// Largest fault batch.
+    pub max_batch: usize,
+    /// Prefetches issued.
+    pub prefetches_issued: usize,
+    /// Useful prefetches.
+    pub prefetches_useful: usize,
+    /// Total ticks (the throughput metric: lower = higher throughput).
+    pub total_ticks: u64,
+}
+
+impl UvmReport {
+    /// Faults per kilo-access.
+    pub fn faults_per_kaccess(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1000.0 * self.faults as f64 / self.accesses as f64
+        }
+    }
+
+    /// Throughput in accesses per kilo-tick.
+    pub fn throughput(&self) -> f64 {
+        if self.total_ticks == 0 {
+            0.0
+        } else {
+            1000.0 * self.accesses as f64 / self.total_ticks as f64
+        }
+    }
+
+    /// Percentage of `baseline`'s faults removed.
+    pub fn pct_faults_removed(&self, baseline: &UvmReport) -> f64 {
+        if baseline.faults == 0 {
+            0.0
+        } else {
+            100.0 * (baseline.faults as f64 - self.faults as f64) / baseline.faults as f64
+        }
+    }
+}
+
+/// The UVM simulator.
+pub struct UvmSim {
+    cfg: UvmConfig,
+}
+
+impl UvmSim {
+    /// Creates a simulator.
+    pub fn new(cfg: UvmConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs `warps` (one trace per warp) against the centralized
+    /// `prefetcher`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warps` is empty.
+    pub fn run(&self, warps: &[Trace], prefetcher: &mut dyn Prefetcher) -> UvmReport {
+        assert!(!warps.is_empty(), "no warps");
+        let combined_footprint: usize = {
+            let mut pages = std::collections::HashSet::new();
+            for w in warps {
+                pages.extend(w.pages());
+            }
+            pages.len()
+        };
+        let capacity = ((combined_footprint as f64 * self.cfg.capacity_frac) as usize).max(1);
+        let mut memory = LocalMemory::new(capacity, EvictionPolicy::Lru);
+        let mut inflight: Vec<(u64, u64)> = Vec::new();
+        let mut cursors = vec![0usize; warps.len()];
+        let mut now: u64 = 0;
+        let mut report = UvmReport {
+            prefetcher: prefetcher.name().to_string(),
+            steps: 0,
+            accesses: 0,
+            fault_batches: 0,
+            faults: 0,
+            max_batch: 0,
+            prefetches_issued: 0,
+            prefetches_useful: 0,
+            total_ticks: 0,
+        };
+        loop {
+            // Land arrived prefetches.
+            inflight.sort_unstable();
+            let mut rest = Vec::new();
+            for &(page, arrival) in &inflight {
+                if arrival <= now {
+                    let _ = memory.insert(page, true, now);
+                } else {
+                    rest.push((page, arrival));
+                }
+            }
+            inflight = rest;
+            // One lockstep step: every unfinished warp issues its next
+            // access.
+            let mut faults: Vec<(usize, u64)> = Vec::new();
+            let mut any_active = false;
+            for (w, trace) in warps.iter().enumerate() {
+                if cursors[w] >= trace.len() {
+                    continue;
+                }
+                any_active = true;
+                let access = trace.accesses()[cursors[w]];
+                let page = access.page(trace.page_shift());
+                report.accesses += 1;
+                if memory.contains(page) {
+                    let fresh = memory
+                        .meta(page)
+                        .map(|m| m.prefetched && !m.touched)
+                        .unwrap_or(false);
+                    memory.touch(page);
+                    if fresh {
+                        report.prefetches_useful += 1;
+                        prefetcher.on_feedback(&PrefetchFeedback::Useful { page });
+                    }
+                    cursors[w] += 1;
+                } else {
+                    faults.push((w, page));
+                    // The warp retries this access after the batch.
+                }
+            }
+            if !any_active {
+                break;
+            }
+            report.steps += 1;
+            now += 1;
+            if faults.is_empty() {
+                continue;
+            }
+            // Service the fault batch: the whole GPU stalls while the
+            // batch migrates together.
+            let mut batch_pages: Vec<u64> = faults.iter().map(|&(_, p)| p).collect();
+            batch_pages.sort_unstable();
+            batch_pages.dedup();
+            report.fault_batches += 1;
+            report.faults += batch_pages.len();
+            report.max_batch = report.max_batch.max(batch_pages.len());
+            let service =
+                self.cfg.fault_latency + self.cfg.per_page_latency * (batch_pages.len() as u64 - 1);
+            // Driver-side prefetching: consult the model per faulting
+            // page (interleaved streams), issue concurrently with the
+            // migration.
+            let arrival = now + service;
+            for &(w, page) in &faults {
+                // Deduplicate: only the first warp faulting a page
+                // reports it (the driver coalesces duplicate faults).
+                if !batch_pages.contains(&page) {
+                    continue;
+                }
+                batch_pages.retain(|&p| p != page);
+                let miss = MissEvent {
+                    page,
+                    tick: now,
+                    stream: w as u16,
+                };
+                let candidates = prefetcher.on_miss(&miss);
+                let mut accepted = 0;
+                for cand in candidates {
+                    if accepted >= self.cfg.max_issue_per_fault {
+                        break;
+                    }
+                    if memory.contains(cand) || inflight.iter().any(|&(p, _)| p == cand) {
+                        continue;
+                    }
+                    if inflight.len() >= self.cfg.max_inflight {
+                        break;
+                    }
+                    inflight.push((cand, arrival));
+                    report.prefetches_issued += 1;
+                    accepted += 1;
+                }
+                memory.insert(page, false, arrival);
+                memory.touch(page);
+            }
+            now += service;
+        }
+        report.total_ticks = now;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnp_memsim::NoPrefetcher;
+    use hnp_trace::Pattern;
+
+    fn warps(n: usize) -> Vec<Trace> {
+        (0..n)
+            .map(|i| {
+                Pattern::Stride
+                    .generate(800, i as u64)
+                    .with_stream(i as u16)
+            })
+            .collect()
+    }
+
+    struct NextLine;
+    impl Prefetcher for NextLine {
+        fn name(&self) -> &str {
+            "next-line"
+        }
+        fn on_miss(&mut self, miss: &MissEvent) -> Vec<u64> {
+            vec![miss.page + 1, miss.page + 2]
+        }
+    }
+
+    #[test]
+    fn all_warps_complete() {
+        let ws = warps(4);
+        let sim = UvmSim::new(UvmConfig::default());
+        let rep = sim.run(&ws, &mut NoPrefetcher);
+        assert!(rep.accesses >= 4 * 800, "retries recount accesses");
+        assert!(rep.steps >= 800);
+        assert!(rep.fault_batches > 0);
+    }
+
+    #[test]
+    fn concurrent_faults_batch_together() {
+        // Four warps over disjoint regions: lockstep misses coincide.
+        let ws: Vec<Trace> = (0..4)
+            .map(|i| {
+                let base = 0x1000_0000u64 * (i + 1) as u64;
+                Trace::from_addrs((0..500).map(|k| base + k * 4096).collect())
+            })
+            .collect();
+        let sim = UvmSim::new(UvmConfig::default());
+        let rep = sim.run(&ws, &mut NoPrefetcher);
+        assert!(rep.max_batch >= 2, "batches form: max {}", rep.max_batch);
+    }
+
+    #[test]
+    fn prefetching_improves_throughput() {
+        let ws = warps(4);
+        let sim = UvmSim::new(UvmConfig::default());
+        let base = sim.run(&ws, &mut NoPrefetcher);
+        let rep = sim.run(&ws, &mut NextLine);
+        assert!(
+            rep.throughput() > base.throughput(),
+            "prefetch {} vs base {}",
+            rep.throughput(),
+            base.throughput()
+        );
+        assert!(rep.pct_faults_removed(&base) > 30.0);
+    }
+
+    #[test]
+    fn per_page_latency_penalizes_big_batches() {
+        let ws: Vec<Trace> = (0..8)
+            .map(|i| {
+                let base = 0x1000_0000u64 * (i + 1) as u64;
+                Trace::from_addrs((0..300).map(|k| base + k * 4096).collect())
+            })
+            .collect();
+        let cheap = UvmSim::new(UvmConfig {
+            per_page_latency: 0,
+            ..UvmConfig::default()
+        })
+        .run(&ws, &mut NoPrefetcher);
+        let costly = UvmSim::new(UvmConfig {
+            per_page_latency: 50,
+            ..UvmConfig::default()
+        })
+        .run(&ws, &mut NoPrefetcher);
+        assert!(costly.total_ticks > cheap.total_ticks);
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let ws = warps(2);
+        let sim = UvmSim::new(UvmConfig::default());
+        let rep = sim.run(&ws, &mut NextLine);
+        assert!(rep.faults_per_kaccess() > 0.0);
+        assert!(rep.prefetches_useful <= rep.prefetches_issued);
+    }
+}

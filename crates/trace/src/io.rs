@@ -1,0 +1,184 @@
+//! Trace serialization.
+//!
+//! Two formats:
+//!
+//! * a compact binary format (`.hnpt`): a one-line JSON header with
+//!   the page shift and length, then little-endian `(u64 addr, u16
+//!   stream)` records — suitable for multi-million-access traces;
+//! * plain JSON for small traces and interchange.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::access::{Access, Trace};
+
+/// Header of the binary format.
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    magic: String,
+    version: u32,
+    page_shift: u32,
+    len: usize,
+}
+
+const MAGIC: &str = "hnp-trace";
+
+/// Writes `trace` to `path` in the binary format.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_binary(trace: &Trace, path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let header = Header {
+        magic: MAGIC.to_string(),
+        version: 1,
+        page_shift: trace.page_shift(),
+        len: trace.len(),
+    };
+    serde_json::to_writer(&mut w, &header)?;
+    w.write_all(b"\n")?;
+    for a in trace.accesses() {
+        w.write_all(&a.addr.to_le_bytes())?;
+        w.write_all(&a.stream.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a binary-format trace from `path`.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, bad magic, or truncated data.
+pub fn read_binary(path: &Path) -> io::Result<Trace> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut header_line = String::new();
+    r.read_line(&mut header_line)?;
+    let header: Header = serde_json::from_str(header_line.trim_end())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if header.magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad magic {:?}", header.magic),
+        ));
+    }
+    let mut accesses = Vec::with_capacity(header.len);
+    let mut rec = [0u8; 10];
+    for i in 0..header.len {
+        r.read_exact(&mut rec).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("truncated at record {i} of {}", header.len),
+            )
+        })?;
+        let addr = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+        let stream = u16::from_le_bytes(rec[8..].try_into().expect("2 bytes"));
+        accesses.push(Access { addr, stream });
+    }
+    Ok(Trace::from_accesses(accesses, header.page_shift))
+}
+
+/// JSON-serializable view of a trace.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct TraceJson {
+    /// Page shift.
+    pub page_shift: u32,
+    /// `(addr, stream)` pairs.
+    pub accesses: Vec<(u64, u16)>,
+}
+
+/// Serializes a trace as JSON text.
+///
+/// # Errors
+///
+/// Returns serialization errors (shouldn't happen for valid traces).
+pub fn to_json(trace: &Trace) -> serde_json::Result<String> {
+    serde_json::to_string(&TraceJson {
+        page_shift: trace.page_shift(),
+        accesses: trace.accesses().iter().map(|a| (a.addr, a.stream)).collect(),
+    })
+}
+
+/// Parses a JSON trace.
+///
+/// # Errors
+///
+/// Returns parse errors on malformed input.
+pub fn from_json(s: &str) -> serde_json::Result<Trace> {
+    let j: TraceJson = serde_json::from_str(s)?;
+    Ok(Trace::from_accesses(
+        j.accesses
+            .into_iter()
+            .map(|(addr, stream)| Access { addr, stream })
+            .collect(),
+        j.page_shift,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::Pattern;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("hnp-io-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_trace() {
+        let t = Pattern::PointerOffset.generate(1234, 5).with_stream(3);
+        let path = temp_path("roundtrip.hnpt");
+        write_binary(&t, &path).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_trace() {
+        let t = Pattern::Stride.generate(50, 0);
+        let s = to_json(&t).unwrap();
+        let back = from_json(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let t = Pattern::Stride.generate(100, 0);
+        let path = temp_path("truncated.hnpt");
+        write_binary(&t, &path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 5]).unwrap();
+        let err = read_binary(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let path = temp_path("badmagic.hnpt");
+        std::fs::write(
+            &path,
+            b"{\"magic\":\"nope\",\"version\":1,\"page_shift\":12,\"len\":0}\n",
+        )
+        .unwrap();
+        assert!(read_binary(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::empty();
+        let path = temp_path("empty.hnpt");
+        write_binary(&t, &path).unwrap();
+        assert_eq!(read_binary(&path).unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,284 @@
+//! The five primitive access patterns of Table 1.
+//!
+//! Each pattern is a deterministic address generator; the paper uses
+//! 1000-access traces of these patterns for the interference/replay
+//! study (Fig. 3) and describes them at the data-structure level:
+//!
+//! | Pattern         | Code           | Behaviour                        |
+//! |-----------------|----------------|----------------------------------|
+//! | Stride          | `a[i]`         | regular delta (array traversal)  |
+//! | Pointer chase   | `*ptr`         | pseudorandom list traversal      |
+//! | Indirect stride | `*(a[i])`      | pointer array at regular delta   |
+//! | Indirect index  | `b[a[i]]`      | indices at regular delta         |
+//! | Pointer offset  | `*ptr, *(ptr+i)` | chase plus adjacent data       |
+//!
+//! All generators are seeded and reproducible; "pseudorandom" targets
+//! are fixed permutations so that the sequence repeats exactly and is
+//! learnable, as in the paper's setup (each pattern is learnable to
+//! perfect accuracy in isolation).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::access::{Trace, PAGE_SHIFT};
+
+/// Identifies one of the Table-1 patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// `a[i]`: regular stride.
+    Stride,
+    /// `*ptr`: pointer chasing over a fixed permutation cycle.
+    PointerChase,
+    /// `*(a[i])`: strided pointer array, pseudorandom targets.
+    IndirectStride,
+    /// `b[a[i]]`: strided indices into a second array.
+    IndirectIndex,
+    /// `*ptr` then `*(ptr+i)`: chase with adjacent-data bursts.
+    PointerOffset,
+}
+
+impl Pattern {
+    /// All five patterns, in Table-1 order.
+    pub const ALL: [Pattern; 5] = [
+        Pattern::Stride,
+        Pattern::PointerChase,
+        Pattern::IndirectStride,
+        Pattern::IndirectIndex,
+        Pattern::PointerOffset,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pattern::Stride => "stride",
+            Pattern::PointerChase => "pointer-chase",
+            Pattern::IndirectStride => "indirect-stride",
+            Pattern::IndirectIndex => "indirect-index",
+            Pattern::PointerOffset => "pointer-offset",
+        }
+    }
+
+    /// Generates `n` accesses of this pattern with default parameters
+    /// and the given seed, as in the paper's 1000-access pattern
+    /// traces.
+    pub fn generate(&self, n: usize, seed: u64) -> Trace {
+        let params = PatternParams::default();
+        self.generate_with(n, seed, &params)
+    }
+
+    /// Generates `n` accesses with explicit parameters.
+    pub fn generate_with(&self, n: usize, seed: u64, p: &PatternParams) -> Trace {
+        let addrs = match self {
+            Pattern::Stride => stride(n, p),
+            Pattern::PointerChase => pointer_chase(n, seed, p),
+            Pattern::IndirectStride => indirect_stride(n, seed, p),
+            Pattern::IndirectIndex => indirect_index(n, p),
+            Pattern::PointerOffset => pointer_offset(n, seed, p),
+        };
+        Trace::from_addrs(addrs)
+    }
+}
+
+/// Parameters shared by the pattern generators.
+#[derive(Debug, Clone)]
+pub struct PatternParams {
+    /// Base address of the primary region.
+    pub base: u64,
+    /// Stride in bytes (page-granular by default so that page-level
+    /// deltas are visible).
+    pub stride: u64,
+    /// Number of elements before the traversal wraps (bounds the
+    /// footprint and makes the sequence periodic).
+    pub elements: usize,
+    /// Base address of the secondary region (pointer targets / the `b`
+    /// array).
+    pub second_base: u64,
+    /// Burst length for `PointerOffset`.
+    pub burst: usize,
+}
+
+impl Default for PatternParams {
+    fn default() -> Self {
+        Self {
+            base: 0x1_0000_0000,
+            stride: 1 << PAGE_SHIFT,
+            elements: 64,
+            second_base: 0x8_0000_0000,
+            burst: 4,
+        }
+    }
+}
+
+/// `a[i]`: wrap-around strided traversal.
+fn stride(n: usize, p: &PatternParams) -> Vec<u64> {
+    (0..n)
+        .map(|i| p.base + ((i % p.elements) as u64) * p.stride)
+        .collect()
+}
+
+/// `*ptr`: a fixed random permutation cycle over `elements` pages.
+fn pointer_chase(n: usize, seed: u64, p: &PatternParams) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<u64> = (0..p.elements as u64).collect();
+    order.shuffle(&mut rng);
+    (0..n)
+        .map(|i| p.base + order[i % p.elements] * p.stride)
+        .collect()
+}
+
+/// `*(a[i])`: the pointer array is walked at a regular stride and every
+/// access to `a[i]` is followed by the dereference of the pseudorandom
+/// (but fixed) target it holds.
+fn indirect_stride(n: usize, seed: u64, p: &PatternParams) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b9);
+    let mut targets: Vec<u64> = (0..p.elements as u64).collect();
+    targets.shuffle(&mut rng);
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while out.len() < n {
+        let idx = i % p.elements;
+        out.push(p.base + (idx as u64) * p.stride); // Read a[i].
+        if out.len() < n {
+            out.push(p.second_base + targets[idx] * p.stride); // Read *a[i].
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `b[a[i]]`: `a` holds indices at a regular delta, so both streams are
+/// strided but with different bases/strides.
+fn indirect_index(n: usize, p: &PatternParams) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while out.len() < n {
+        let idx = i % p.elements;
+        out.push(p.base + (idx as u64) * p.stride); // Read a[i].
+        if out.len() < n {
+            // a[i] = 3*i: indices at a regular delta of 3.
+            let index_value = (3 * idx) as u64 % (p.elements as u64 * 3);
+            out.push(p.second_base + index_value * p.stride); // Read b[a[i]].
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `*ptr` then `*(ptr+i)`: pointer chase with a strided burst over
+/// adjacent data after each hop.
+fn pointer_offset(n: usize, seed: u64, p: &PatternParams) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5bf0_3635);
+    let mut order: Vec<u64> = (0..p.elements as u64).collect();
+    order.shuffle(&mut rng);
+    let mut out = Vec::with_capacity(n);
+    let mut hop = 0usize;
+    while out.len() < n {
+        let node = p.base + order[hop % p.elements] * p.stride * (p.burst as u64 + 1);
+        out.push(node); // *ptr.
+        for i in 1..=p.burst {
+            if out.len() >= n {
+                break;
+            }
+            out.push(node + (i as u64) * p.stride); // *(ptr + i).
+        }
+        hop += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_has_constant_page_delta() {
+        let t = Pattern::Stride.generate(100, 0);
+        let pages: Vec<u64> = t.pages().collect();
+        for w in pages.windows(2) {
+            let delta = w[1] as i64 - w[0] as i64;
+            assert!(delta == 1 || delta == -(63), "unexpected delta {delta}");
+        }
+    }
+
+    #[test]
+    fn pointer_chase_is_periodic_and_learnable() {
+        let t = Pattern::PointerChase.generate(256, 7);
+        let pages: Vec<u64> = t.pages().collect();
+        // The cycle repeats every `elements` accesses.
+        for i in 0..(256 - 64) {
+            assert_eq!(pages[i], pages[i + 64]);
+        }
+        // And within a cycle the pages are a permutation (all distinct).
+        let first: std::collections::HashSet<u64> = pages[..64].iter().copied().collect();
+        assert_eq!(first.len(), 64);
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_trace() {
+        for p in Pattern::ALL {
+            assert_eq!(p.generate(500, 3), p.generate(500, 3), "{}", p.name());
+        }
+        // Different seeds change the random patterns.
+        assert_ne!(
+            Pattern::PointerChase.generate(500, 3),
+            Pattern::PointerChase.generate(500, 4)
+        );
+    }
+
+    #[test]
+    fn indirect_patterns_alternate_regions() {
+        let p = PatternParams::default();
+        let t = Pattern::IndirectStride.generate(100, 1);
+        let a: Vec<u64> = t.accesses().iter().map(|a| a.addr).collect();
+        for (i, &addr) in a.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(addr < p.second_base, "even accesses read the array");
+            } else {
+                assert!(addr >= p.second_base, "odd accesses dereference");
+            }
+        }
+    }
+
+    #[test]
+    fn pointer_offset_bursts_are_adjacent() {
+        let t = Pattern::PointerOffset.generate(50, 2);
+        let a: Vec<u64> = t.accesses().iter().map(|x| x.addr).collect();
+        // Within each group of burst+1 accesses, deltas are one stride.
+        let stride = PatternParams::default().stride;
+        for g in a.chunks(5) {
+            for w in g.windows(2) {
+                if w[1] > w[0] {
+                    assert_eq!(w[1] - w[0], stride);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn requested_length_is_exact() {
+        for p in Pattern::ALL {
+            assert_eq!(p.generate(1000, 0).len(), 1000, "{}", p.name());
+            assert_eq!(p.generate(0, 0).len(), 0);
+            assert_eq!(p.generate(1, 0).len(), 1);
+        }
+    }
+
+    #[test]
+    fn footprints_are_bounded_by_elements() {
+        let p = PatternParams::default();
+        for pat in Pattern::ALL {
+            let t = pat.generate(5000, 0);
+            // At most two regions of `elements` entries, plus burst
+            // neighbours for PointerOffset.
+            let bound = 2 * p.elements * (p.burst + 1);
+            assert!(
+                t.footprint_pages() <= bound,
+                "{} footprint {} > {}",
+                pat.name(),
+                t.footprint_pages(),
+                bound
+            );
+        }
+    }
+}
