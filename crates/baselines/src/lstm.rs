@@ -157,6 +157,15 @@ impl Prefetcher for LstmPrefetcher {
             Vec::new()
         }
     }
+
+    fn reset_state(&mut self) {
+        // A restart loses the recurrent state and delta context; the
+        // learned weights survive (they live with the driver, not the
+        // crashed node's memory).
+        self.net.reset_state();
+        self.last_page = None;
+        self.last_token = None;
+    }
 }
 
 #[cfg(test)]

@@ -74,6 +74,12 @@ impl Prefetcher for StridePrefetcher {
         "stride"
     }
 
+    fn reset_state(&mut self) {
+        self.last_page = None;
+        self.last_delta = None;
+        self.confidence = 0;
+    }
+
     fn on_miss(&mut self, miss: &MissEvent) -> Vec<u64> {
         let mut out = Vec::new();
         if let Some(last) = self.last_page {
@@ -150,6 +156,12 @@ impl MarkovPrefetcher {
 impl Prefetcher for MarkovPrefetcher {
     fn name(&self) -> &str {
         "markov"
+    }
+
+    fn reset_state(&mut self) {
+        // A restart loses the last-page context; the learned
+        // transition table survives.
+        self.last_page = None;
     }
 
     fn on_miss(&mut self, miss: &MissEvent) -> Vec<u64> {

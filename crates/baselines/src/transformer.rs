@@ -107,6 +107,12 @@ impl Prefetcher for TransformerPrefetcher {
         "transformer"
     }
 
+    fn reset_state(&mut self) {
+        // A restart loses the context window; weights survive.
+        self.history.clear();
+        self.last_page = None;
+    }
+
     fn on_miss(&mut self, miss: &MissEvent) -> Vec<u64> {
         let Some(last) = self.last_page else {
             self.last_page = Some(miss.page);

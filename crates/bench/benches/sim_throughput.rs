@@ -21,7 +21,10 @@ fn bench_simulator(c: &mut Criterion) {
     let cases: Vec<(&str, Factory)> = vec![
         ("none", Box::new(|| Box::new(NoPrefetcher))),
         ("stride", Box::new(|| Box::new(StridePrefetcher::new(2, 4)))),
-        ("markov", Box::new(|| Box::new(MarkovPrefetcher::new(4096, 2)))),
+        (
+            "markov",
+            Box::new(|| Box::new(MarkovPrefetcher::new(4096, 2))),
+        ),
         (
             "cls-hebbian",
             Box::new(|| Box::new(ClsPrefetcher::new(ClsConfig::default()))),

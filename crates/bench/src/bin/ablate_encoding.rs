@@ -95,16 +95,17 @@ fn main() {
     // context.
     let composite = {
         use hnp_trace::{phased, Pattern};
-        
+
         phased::phases(
-            &[(Pattern::IndirectIndex, accesses / 2), (Pattern::PointerOffset, accesses / 2)],
+            &[
+                (Pattern::IndirectIndex, accesses / 2),
+                (Pattern::PointerOffset, accesses / 2),
+            ],
             3,
         )
     };
     run_workload("composite", &composite, &mut rows);
     println!();
-    println!(
-        "note: kv-store is the §5.3 negative result — no delta encoding should rescue it."
-    );
+    println!("note: kv-store is the §5.3 negative result — no delta encoding should rescue it.");
     output::write_json("ablate_encoding", &rows);
 }

@@ -12,7 +12,9 @@
 use serde::Serialize;
 
 use hnp_bench::output;
-use hnp_core::{CapacityPolicy, ClsConfig, ClsPrefetcher, EpisodicBackend, ReplayConfig, ReplayForm};
+use hnp_core::{
+    CapacityPolicy, ClsConfig, ClsPrefetcher, EpisodicBackend, ReplayConfig, ReplayForm,
+};
 use hnp_memsim::{NoPrefetcher, SimConfig, Simulator};
 use hnp_trace::{phased, Pattern, Trace};
 

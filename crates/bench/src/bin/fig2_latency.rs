@@ -41,10 +41,8 @@ fn main() {
         "{:<22} {:>6} {:>6} {:>6} {:>6}   (us per inference)",
         "model", "1", "2", "4", "8"
     );
-    let variants: Vec<(String, usize)> = vec![
-        ("lstm-fp32-1t".into(), 1),
-        ("lstm-fp32-2t".into(), 2),
-    ];
+    let variants: Vec<(String, usize)> =
+        vec![("lstm-fp32-1t".into(), 1), ("lstm-fp32-2t".into(), 2)];
     for (label, threads) in variants {
         let mut net = LstmNetwork::new(LstmConfig {
             threads,

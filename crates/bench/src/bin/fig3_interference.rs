@@ -31,8 +31,16 @@ fn print_series(s: &Fig3Series) {
         "  [{}] {} -> {}  replay={}  phase1-conf={:.2}",
         s.model, s.pattern_old, s.pattern_new, s.replay, s.conf_old_after_phase1
     );
-    println!("    old (red):  {}  final {:.2}", spark(&old), s.final_conf_old());
-    println!("    new (blue): {}  final {:.2}", spark(&new), s.final_conf_new());
+    println!(
+        "    old (red):  {}  final {:.2}",
+        spark(&old),
+        s.final_conf_old()
+    );
+    println!(
+        "    new (blue): {}  final {:.2}",
+        spark(&new),
+        s.final_conf_new()
+    );
 }
 
 fn main() {

@@ -53,14 +53,22 @@ fn main() {
         max_batch: base.max_batch,
         total_ticks: base.total_ticks,
     }];
-    output::header("UVM: centralized prefetcher, width x stream-isolation sweep (8 warps, lockstep)");
+    output::header(
+        "UVM: centralized prefetcher, width x stream-isolation sweep (8 warps, lockstep)",
+    );
     println!(
         "{:<14} {:>9} {:>6} {:>10} {:>12} {:>9} {:>12}",
         "prefetcher", "isolation", "width", "removed%", "throughput", "maxbatch", "ticks"
     );
     println!(
         "{:<14} {:>9} {:>6} {:>10} {:>12.2} {:>9} {:>12}",
-        "baseline", "-", "-", "-", base.throughput(), base.max_batch, base.total_ticks
+        "baseline",
+        "-",
+        "-",
+        "-",
+        base.throughput(),
+        base.max_batch,
+        base.total_ticks
     );
     // With per-stream (per-warp) delta isolation, the model is
     // accurate and narrow prefetching wins under the bandwidth cap;

@@ -68,7 +68,14 @@ pub struct Fig5Row {
 
 /// The prefetchers compared in the Fig.-5 harness.
 pub fn prefetcher_names() -> Vec<&'static str> {
-    vec!["stride", "markov", "lstm", "transformer", "hebbian", "cls-hebbian"]
+    vec![
+        "stride",
+        "markov",
+        "lstm",
+        "transformer",
+        "hebbian",
+        "cls-hebbian",
+    ]
 }
 
 fn build_prefetcher(name: &str, seed: u64) -> Box<dyn Prefetcher> {
@@ -87,7 +94,10 @@ fn build_prefetcher(name: &str, seed: u64) -> Box<dyn Prefetcher> {
             seed,
             ..ClsConfig::hebbian_only()
         })),
-        "cls-hebbian" => Box::new(ClsPrefetcher::new(ClsConfig { seed, ..ClsConfig::default() })),
+        "cls-hebbian" => Box::new(ClsPrefetcher::new(ClsConfig {
+            seed,
+            ..ClsConfig::default()
+        })),
         other => panic!("unknown prefetcher {other}"),
     }
 }

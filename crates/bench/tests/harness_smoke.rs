@@ -9,7 +9,10 @@ use std::process::Command;
 fn run(bin: &str, args: &[&str]) -> String {
     let out = Command::new(bin)
         .args(args)
-        .env("CARGO_TARGET_DIR", std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()))
+        .env(
+            "CARGO_TARGET_DIR",
+            std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into()),
+        )
         .output()
         .unwrap_or_else(|e| panic!("cannot launch {bin}: {e}"));
     assert!(

@@ -6,6 +6,8 @@
 //! hnpctl sim        --trace t.hnpt --prefetcher cls-hebbian [--capacity-frac 0.5]
 //! hnpctl compare    --trace t.hnpt [--capacity-frac 0.5]
 //! hnpctl patterns   [--accesses 1000]
+//! hnpctl faults     --workload pagerank --schedule lossy:5000:40000:0.5 \
+//!                   [--target disagg|uvm] [--resilient true]
 //! ```
 //!
 //! Workloads: `tensorflow`, `pagerank`, `mcf`, `graph500`, `kv-store`,
@@ -25,17 +27,26 @@ use hnp_baselines::{
     TransformerPrefetcher, TransformerPrefetcherConfig,
 };
 use hnp_core::{ClsConfig, ClsPrefetcher};
-use hnp_memsim::{NoPrefetcher, Prefetcher, SimConfig, Simulator};
+use hnp_memsim::{NoPrefetcher, Prefetcher, ResilientPrefetcher, SimConfig, Simulator};
+use hnp_systems::{
+    DisaggConfig, DisaggregatedCluster, FaultInjector, FaultSchedule, UvmConfig, UvmSim,
+};
 use hnp_trace::apps::AppWorkload;
 use hnp_trace::stats::TraceStats;
 use hnp_trace::{io, Pattern, Trace};
 
-const USAGE: &str = "usage: hnpctl <trace-gen|trace-stats|sim|compare|patterns> [--key value ...]
+const USAGE: &str =
+    "usage: hnpctl <trace-gen|trace-stats|sim|compare|patterns|faults> [--key value ...]
   trace-gen   --workload NAME --accesses N [--seed S] --out FILE
   trace-stats --trace FILE
   sim         --trace FILE --prefetcher NAME [--capacity-frac F] [--seed S] [--json true]
   compare     --trace FILE [--capacity-frac F] [--seed S]
-  patterns    [--accesses N]";
+  patterns    [--accesses N]
+  faults      --workload NAME [--target disagg|uvm] [--nodes K] [--accesses N]
+              [--prefetcher NAME] [--resilient true] [--schedule DSL]
+              [--seed S] [--fault-seed S] [--json true]
+              (DSL: comma-separated spike:S:D:EXTRA[:JIT] lossy:S:D:P
+               brownout:S:D:SLOTS slow:S:D:F crash:S:D:NODE)";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -51,6 +62,7 @@ fn main() -> ExitCode {
         "sim" => cmd_sim(&args),
         "compare" => cmd_compare(&args),
         "patterns" => cmd_patterns(&args),
+        "faults" => cmd_faults(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     };
     match result {
@@ -233,6 +245,104 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             rep.prefetches_issued,
             rep.accuracy()
         );
+    }
+    Ok(())
+}
+
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    let name = args.get("workload", "pagerank");
+    let accesses: usize = args.get_num("accesses", 20_000)?;
+    let nodes: usize = args.get_num("nodes", 4)?;
+    if nodes == 0 {
+        return Err("--nodes must be positive".into());
+    }
+    let seed: u64 = args.get_num("seed", 1)?;
+    let fault_seed: u64 = args.get_num("fault-seed", 0xfa017)?;
+    let pname = args.get("prefetcher", "cls-hebbian");
+    let resilient = args.get("resilient", "false") == "true";
+    let spec = args.get("schedule", "");
+    let schedule = if spec.is_empty() {
+        FaultSchedule::none()
+    } else {
+        FaultSchedule::parse(spec)?
+    };
+    let make = |seed: u64| -> Result<Box<dyn Prefetcher>, String> {
+        let inner = prefetcher(pname, seed)?;
+        Ok(if resilient {
+            Box::new(ResilientPrefetcher::new(inner))
+        } else {
+            inner
+        })
+    };
+    let mut inj = FaultInjector::new(schedule, fault_seed);
+    let json = args.get("json", "false") == "true";
+    match args.get("target", "disagg") {
+        "disagg" => {
+            let traces: Vec<Trace> = (0..nodes)
+                .map(|i| workload(name, accesses, seed + i as u64))
+                .collect::<Result<_, _>>()?;
+            let mut pfs: Vec<Box<dyn Prefetcher>> = (0..nodes)
+                .map(|i| make(seed + i as u64))
+                .collect::<Result<_, _>>()?;
+            let cluster = DisaggregatedCluster::new(DisaggConfig::default());
+            let rep = cluster.run_decentralized_with_faults(&traces, &mut pfs, &mut inj);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&rep).map_err(|e| e.to_string())?
+                );
+                return Ok(());
+            }
+            println!("target:          disagg ({nodes} nodes)");
+            println!("total ticks:     {}", rep.total_ticks);
+            println!("stall ticks:     {}", rep.total_stall());
+            println!("misses:          {}", rep.total_misses());
+            let sum = |f: fn(&hnp_systems::disagg::NodeReport) -> usize| -> usize {
+                rep.nodes.iter().map(f).sum()
+            };
+            println!(
+                "prefetches:      {} issued, {} useful, {} cancelled",
+                sum(|n| n.prefetches_issued),
+                sum(|n| n.prefetches_useful),
+                sum(|n| n.prefetches_cancelled),
+            );
+            println!(
+                "faults:          {} retries, {} timeouts, {} restarts",
+                sum(|n| n.retries),
+                sum(|n| n.timeouts),
+                sum(|n| n.restarts),
+            );
+        }
+        "uvm" => {
+            let warps: Vec<Trace> = (0..nodes)
+                .map(|i| workload(name, accesses, seed + i as u64).map(|t| t.with_stream(i as u16)))
+                .collect::<Result<_, _>>()?;
+            let mut p = make(seed)?;
+            let sim = UvmSim::new(UvmConfig::default());
+            let rep = sim.run_with_faults(&warps, p.as_mut(), &mut inj);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&rep).map_err(|e| e.to_string())?
+                );
+                return Ok(());
+            }
+            println!("target:          uvm ({nodes} warps)");
+            println!("total ticks:     {}", rep.total_ticks);
+            println!(
+                "faults:          {} in {} batches",
+                rep.faults, rep.fault_batches
+            );
+            println!(
+                "prefetches:      {} issued, {} useful, {} cancelled",
+                rep.prefetches_issued, rep.prefetches_useful, rep.prefetches_cancelled,
+            );
+            println!(
+                "recovery:        {} retries, {} timeouts, {} restarts",
+                rep.retries, rep.timeouts, rep.restarts,
+            );
+        }
+        other => return Err(format!("unknown target {other:?}")),
     }
     Ok(())
 }

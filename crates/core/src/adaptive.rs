@@ -102,7 +102,11 @@ impl AdaptiveGeometry {
     pub fn on_feedback(&mut self, feedback: &PrefetchFeedback) {
         match feedback {
             PrefetchFeedback::Useful { .. } => self.useful += 1,
-            PrefetchFeedback::Unused { .. } => self.unused += 1,
+            // A cancelled prefetch wasted bandwidth without helping,
+            // exactly like pollution: count it against accuracy.
+            PrefetchFeedback::Unused { .. } | PrefetchFeedback::Cancelled { .. } => {
+                self.unused += 1
+            }
             PrefetchFeedback::Late { .. } => self.late += 1,
         }
         self.seen += 1;
@@ -156,7 +160,10 @@ mod tests {
             g.on_feedback(&PrefetchFeedback::Unused { page: 0 });
         }
         for _ in 0..late {
-            g.on_feedback(&PrefetchFeedback::Late { page: 0, remaining: 1 });
+            g.on_feedback(&PrefetchFeedback::Late {
+                page: 0,
+                remaining: 1,
+            });
         }
     }
 

@@ -14,9 +14,7 @@ use hnp_memsim::prefetcher::{MissEvent, Prefetcher};
 use crate::adaptive::{AdaptiveConfig, AdaptiveGeometry};
 use crate::confidence::ConfidenceTracker;
 use crate::encoder::{Encoder, EncoderKind};
-use crate::episodic::{
-    AssociativeConfig, AssociativeHippocampus, EpisodicBackend, EpisodicStore,
-};
+use crate::episodic::{AssociativeConfig, AssociativeHippocampus, EpisodicBackend, EpisodicStore};
 use crate::hippocampus::{CapacityPolicy, Hippocampus};
 use crate::neocortex::{Neocortex, NeocortexConfig};
 use crate::phase::{PhaseConfig, PhaseDetector};
@@ -185,10 +183,10 @@ impl ClsPrefetcher {
             hippo,
             replay: ReplayScheduler::new(cfg.replay.clone()),
             sampler: SamplerState::new(cfg.sampler, cfg.seed),
-            phase: cfg.phase.clone().map(|p| PhaseDetector::new(
-                DeltaVocab::new(cfg.delta_range).len(),
-                p,
-            )),
+            phase: cfg
+                .phase
+                .clone()
+                .map(|p| PhaseDetector::new(DeltaVocab::new(cfg.delta_range).len(), p)),
             tracker: ConfidenceTracker::new(0.02, 256),
             adaptive: cfg
                 .adaptive
@@ -250,7 +248,11 @@ impl ClsPrefetcher {
     /// The last `window` tokens of a stream's history.
     fn context_of(history: &VecDeque<usize>, window: usize) -> Vec<usize> {
         let n = history.len();
-        history.iter().skip(n.saturating_sub(window)).copied().collect()
+        history
+            .iter()
+            .skip(n.saturating_sub(window))
+            .copied()
+            .collect()
     }
 
     fn learn(&mut self, ctx: Vec<usize>, token: usize) {
@@ -266,12 +268,12 @@ impl ClsPrefetcher {
         // the §5.1 trade: pay a cheap forward pass to skip expensive
         // training on well-learned cases. Other samplers use the
         // running EMA for free.
-        let gate_confidence =
-            if matches!(self.cfg.sampler, TrainingSampler::ConfidenceGated { .. }) {
-                self.cortex.network_mut().infer(&pattern, token).confidence
-            } else {
-                self.tracker.ema()
-            };
+        let gate_confidence = if matches!(self.cfg.sampler, TrainingSampler::ConfidenceGated { .. })
+        {
+            self.cortex.network_mut().infer(&pattern, token).confidence
+        } else {
+            self.tracker.ema()
+        };
         let decision = self.sampler.decide(gate_confidence);
         let outcome = match decision {
             SampleDecision::Train => self.cortex.train(&pattern, token),
@@ -302,12 +304,8 @@ impl ClsPrefetcher {
             weight: 1,
         });
         if decision == SampleDecision::Train {
-            self.replay.after_train(
-                &mut self.cortex,
-                self.hippo.as_mut(),
-                &self.encoder,
-                phase,
-            );
+            self.replay
+                .after_train(&mut self.cortex, self.hippo.as_mut(), &self.encoder, phase);
         }
     }
 }
@@ -364,6 +362,12 @@ impl Prefetcher for ClsPrefetcher {
         if let Some(a) = &mut self.adaptive {
             a.on_feedback(feedback);
         }
+    }
+
+    fn reset_state(&mut self) {
+        // A restart loses the per-stream miss-history contexts; the
+        // consolidated neocortical weights and episodic store survive.
+        self.streams.clear();
     }
 }
 

@@ -39,10 +39,9 @@ impl ConfidenceTracker {
     /// Records one prediction outcome.
     pub fn record(&mut self, confidence: f32, correct: bool) {
         self.ema = (1.0 - self.alpha) * self.ema + self.alpha * confidence;
-        if self.recent.len() == self.window
-            && self.recent.pop_front() == Some(true) {
-                self.correct_in_window -= 1;
-            }
+        if self.recent.len() == self.window && self.recent.pop_front() == Some(true) {
+            self.correct_in_window -= 1;
+        }
         self.recent.push_back(correct);
         if correct {
             self.correct_in_window += 1;

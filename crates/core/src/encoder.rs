@@ -78,7 +78,10 @@ impl Encoder {
                 bits_per,
                 space,
             } => {
-                assert!(window > 0 && bits_per > 0 && space > 0, "degenerate path code");
+                assert!(
+                    window > 0 && bits_per > 0 && space > 0,
+                    "degenerate path code"
+                );
             }
             EncoderKind::Vsa {
                 window,
@@ -265,7 +268,10 @@ mod tests {
         let a = e.encode(&[9, 1, 2, 3]);
         let b = e.encode(&[8, 1, 2, 3]); // Same recent path, older differs.
         let overlap = a.iter().filter(|bit| b.contains(bit)).count();
-        assert!(overlap >= 8, "paths share recent structure: overlap {overlap}");
+        assert!(
+            overlap >= 8,
+            "paths share recent structure: overlap {overlap}"
+        );
     }
 
     #[test]

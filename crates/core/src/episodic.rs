@@ -69,7 +69,15 @@ pub trait EpisodicStore {
 
 impl EpisodicStore for Hippocampus {
     fn store_episode(&mut self, e: Episode) {
-        self.store(e.history, e.pattern, e.recurrent, e.target, e.confidence, e.stored_at, e.phase);
+        self.store(
+            e.history,
+            e.pattern,
+            e.recurrent,
+            e.target,
+            e.confidence,
+            e.stored_at,
+            e.phase,
+        );
     }
 
     fn sample_for_replay(
@@ -106,9 +114,7 @@ impl EpisodicStore for Hippocampus {
     fn storage_bytes(&self) -> usize {
         self.episodes()
             .iter()
-            .map(|e| {
-                e.history.len() * 8 + e.pattern.len() * 4 + e.recurrent.len() * 4 + 32
-            })
+            .map(|e| e.history.len() * 8 + e.pattern.len() * 4 + e.recurrent.len() * 4 + 32)
             .sum()
     }
 }

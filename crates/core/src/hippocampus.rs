@@ -175,9 +175,7 @@ impl Hippocampus {
             CapacityPolicy::Ring { capacity } => {
                 if self.episodes.len() >= capacity {
                     // Evict the oldest.
-                    let oldest = self
-                        .oldest_index()
-                        .expect("non-empty when at capacity");
+                    let oldest = self.oldest_index().expect("non-empty when at capacity");
                     self.episodes.swap_remove(oldest);
                 }
                 self.episodes.push(episode);
@@ -467,7 +465,15 @@ mod tests {
     fn other_phase_sampling_prefers_old_phases() {
         let mut h = Hippocampus::new(CapacityPolicy::Unbounded);
         for i in 0..10u64 {
-            h.store(vec![0], vec![i as u32], vec![], 0, 0.5, i, if i < 5 { 1 } else { 2 });
+            h.store(
+                vec![0],
+                vec![i as u32],
+                vec![],
+                0,
+                0.5,
+                i,
+                if i < 5 { 1 } else { 2 },
+            );
         }
         let mut rng = StdRng::seed_from_u64(2);
         let s = h.sample_other_phases(3, 2, &mut rng);

@@ -145,7 +145,8 @@ impl Neocortex {
         steps: usize,
         width: usize,
     ) -> Vec<Vec<usize>> {
-        self.predict_with_confidence(history, encoder, steps, width).0
+        self.predict_with_confidence(history, encoder, steps, width)
+            .0
     }
 
     /// [`predict`](Self::predict) that also reports the first step's

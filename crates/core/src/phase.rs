@@ -228,11 +228,14 @@ mod tests {
 
     #[test]
     fn phase_budget_is_bounded() {
-        let mut d = PhaseDetector::new(32, PhaseConfig {
-            window: 8,
-            max_phases: 3,
-            ..PhaseConfig::default()
-        });
+        let mut d = PhaseDetector::new(
+            32,
+            PhaseConfig {
+                window: 8,
+                max_phases: 3,
+                ..PhaseConfig::default()
+            },
+        );
         for tok in 0..20usize {
             for _ in 0..8 {
                 d.observe(tok);

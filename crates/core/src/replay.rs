@@ -117,8 +117,12 @@ impl ReplayScheduler {
             return 0;
         }
         let prefer_other = matches!(self.cfg.form, ReplayForm::OtherPhases);
-        let episodes =
-            store.sample_for_replay(self.cfg.per_step, current_phase, prefer_other, &mut self.rng);
+        let episodes = store.sample_for_replay(
+            self.cfg.per_step,
+            current_phase,
+            prefer_other,
+            &mut self.rng,
+        );
         let mut done = 0usize;
         for episode in episodes {
             match self.cfg.form {
@@ -229,7 +233,12 @@ mod tests {
             for w in 0..b.len() {
                 let pattern = encoder.encode(&[b[w]]);
                 cortex.train(&pattern, b[(w + 1) % b.len()]);
-                sched.after_train(&mut cortex, &mut hippo as &mut dyn EpisodicStore, &encoder, 2);
+                sched.after_train(
+                    &mut cortex,
+                    &mut hippo as &mut dyn EpisodicStore,
+                    &encoder,
+                    2,
+                );
             }
         }
         // Accuracy on A afterwards.
@@ -261,7 +270,15 @@ mod tests {
         let (mut cortex, mut hippo, encoder) = setup();
         hippo.store(vec![1], encoder.encode(&[1]), vec![], 2, 0.5, 0, 0);
         let mut sched = ReplayScheduler::new(ReplayConfig::off());
-        assert_eq!(sched.after_train(&mut cortex, &mut hippo as &mut dyn EpisodicStore, &encoder, 0), 0);
+        assert_eq!(
+            sched.after_train(
+                &mut cortex,
+                &mut hippo as &mut dyn EpisodicStore,
+                &encoder,
+                0
+            ),
+            0
+        );
         assert_eq!(sched.replayed, 0);
     }
 
@@ -269,14 +286,27 @@ mod tests {
     fn generative_replay_counts_generated_steps() {
         let (mut cortex, mut hippo, encoder) = setup();
         for t in 0..8usize {
-            hippo.store(vec![t], encoder.encode(&[t]), vec![], (t + 1) % 8, 0.5, 0, 0);
+            hippo.store(
+                vec![t],
+                encoder.encode(&[t]),
+                vec![],
+                (t + 1) % 8,
+                0.5,
+                0,
+                0,
+            );
         }
         let mut sched = ReplayScheduler::new(ReplayConfig {
             form: ReplayForm::Generative { rollout_len: 3 },
             per_step: 2,
             ..ReplayConfig::default()
         });
-        let n = sched.after_train(&mut cortex, &mut hippo as &mut dyn EpisodicStore, &encoder, 0);
+        let n = sched.after_train(
+            &mut cortex,
+            &mut hippo as &mut dyn EpisodicStore,
+            &encoder,
+            0,
+        );
         // Each of the 2 episodes yields 1 real + 3 generated examples.
         assert_eq!(n, 8);
     }
@@ -292,13 +322,29 @@ mod tests {
             per_step: 3,
             ..ReplayConfig::default()
         });
-        assert_eq!(sched.after_train(&mut cortex, &mut hippo as &mut dyn EpisodicStore, &encoder, 0), 3);
+        assert_eq!(
+            sched.after_train(
+                &mut cortex,
+                &mut hippo as &mut dyn EpisodicStore,
+                &encoder,
+                0
+            ),
+            3
+        );
     }
 
     #[test]
     fn empty_hippocampus_replays_nothing() {
         let (mut cortex, mut hippo, encoder) = setup();
         let mut sched = ReplayScheduler::new(ReplayConfig::default());
-        assert_eq!(sched.after_train(&mut cortex, &mut hippo as &mut dyn EpisodicStore, &encoder, 0), 0);
+        assert_eq!(
+            sched.after_train(
+                &mut cortex,
+                &mut hippo as &mut dyn EpisodicStore,
+                &encoder,
+                0
+            ),
+            0
+        );
     }
 }

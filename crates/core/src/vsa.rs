@@ -213,12 +213,7 @@ impl VsaEncoder {
     /// Panics if `history` is empty or a token is out of vocabulary.
     pub fn encode(&self, history: &[usize]) -> Vec<u32> {
         assert!(!history.is_empty(), "empty history");
-        let recent: Vec<usize> = history
-            .iter()
-            .rev()
-            .take(self.window)
-            .copied()
-            .collect();
+        let recent: Vec<usize> = history.iter().rev().take(self.window).copied().collect();
         let positioned: Vec<HyperVector> = recent
             .iter()
             .enumerate()
@@ -260,7 +255,10 @@ mod tests {
         let b = HyperVector::random(16, &mut r);
         let bound = a.bind(&b);
         assert_eq!(bound.bind(&b), a, "unbinding recovers the operand");
-        assert!(bound.similarity(&a).abs() < 0.15, "bound vector is unrelated");
+        assert!(
+            bound.similarity(&a).abs() < 0.15,
+            "bound vector is unrelated"
+        );
     }
 
     #[test]

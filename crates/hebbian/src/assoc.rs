@@ -300,7 +300,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut mem = WillshawMemory::new(256, 256);
         let pairs: Vec<(BitSet, BitSet)> = (0..20)
-            .map(|_| (random_code(256, 12, &mut rng), random_code(256, 12, &mut rng)))
+            .map(|_| {
+                (
+                    random_code(256, 12, &mut rng),
+                    random_code(256, 12, &mut rng),
+                )
+            })
             .collect();
         for (k, v) in &pairs {
             mem.store(k, v);
@@ -356,10 +361,7 @@ mod tests {
             }
             let completed = mem.complete(&cue, 5);
             let overlap = completed.overlap(c);
-            assert!(
-                overlap >= 10,
-                "completion recovered only {overlap}/12 bits"
-            );
+            assert!(overlap >= 10, "completion recovered only {overlap}/12 bits");
         }
     }
 

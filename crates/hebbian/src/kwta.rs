@@ -21,9 +21,7 @@ pub fn k_winners(scores: &[i32], k: usize) -> Vec<u32> {
     // plenty, and `select_nth_unstable_by` keeps it O(n).
     let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
     idx.select_nth_unstable_by(k - 1, |&a, &b| {
-        scores[b as usize]
-            .cmp(&scores[a as usize])
-            .then(a.cmp(&b))
+        scores[b as usize].cmp(&scores[a as usize]).then(a.cmp(&b))
     });
     let mut winners = idx[..k].to_vec();
     winners.sort_unstable();

@@ -725,11 +725,7 @@ mod tests {
         let o = net.infer_advance(&oh(3), 3);
         // Table 2 lists 14 k INT inference ops; ours must land in the
         // same decade and far below the LSTM's >170 k.
-        assert!(
-            (3_000..30_000).contains(&o.ops),
-            "inference ops {}",
-            o.ops
-        );
+        assert!((3_000..30_000).contains(&o.ops), "inference ops {}", o.ops);
     }
 
     #[test]

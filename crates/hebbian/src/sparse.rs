@@ -157,7 +157,11 @@ impl SparseLayer {
         for j in 0..self.fan_in {
             let slot = base + j;
             let src = self.sources[slot] as usize;
-            let delta = if active_inputs.contains(src) { pot } else { -dep };
+            let delta = if active_inputs.contains(src) {
+                pot
+            } else {
+                -dep
+            };
             self.weights[slot] = (self.weights[slot] + delta).clamp(-self.clamp, self.clamp);
         }
         2 * self.fan_in

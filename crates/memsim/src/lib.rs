@@ -21,9 +21,11 @@ pub mod deltas;
 pub mod evict;
 pub mod memory;
 pub mod prefetcher;
+pub mod resilient;
 pub mod sim;
 
 pub use deltas::{DeltaVocab, MissHistory};
 pub use evict::EvictionPolicy;
 pub use prefetcher::{DemuxPrefetcher, MissEvent, NoPrefetcher, Prefetcher};
+pub use resilient::{HealthState, ResilienceStats, ResilientConfig, ResilientPrefetcher};
 pub use sim::{SimConfig, SimReport, Simulator};

@@ -111,6 +111,16 @@ impl LocalMemory {
         self.evictor.remove(page);
         self.meta.remove(&page)
     }
+
+    /// Drops every resident page (a node crash/restart loses local
+    /// memory). Capacity and policy survive; contents do not.
+    pub fn flush(&mut self) {
+        let pages: Vec<u64> = self.meta.keys().copied().collect();
+        for page in pages {
+            self.evictor.remove(page);
+        }
+        self.meta.clear();
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,12 @@ pub enum PrefetchFeedback {
         /// The page.
         page: u64,
     },
+    /// The prefetch was cancelled in flight by a fault (dropped
+    /// transfer, node crash) and never arrived.
+    Cancelled {
+        /// The page.
+        page: u64,
+    },
 }
 
 /// A memory prefetcher.
@@ -58,6 +64,48 @@ pub trait Prefetcher {
 
     /// Optional: receives prefetch outcome feedback.
     fn on_feedback(&mut self, _feedback: &PrefetchFeedback) {}
+
+    /// Drops transient per-run state (stream histories, recurrent
+    /// state, pending confidence) while keeping learned weights.
+    /// Called when the node hosting the prefetcher restarts; the
+    /// default is a no-op for stateless prefetchers.
+    fn reset_state(&mut self) {}
+
+    /// Notifies the prefetcher that a fault hit its node at `tick`
+    /// (crash/restart). The default drops transient state via
+    /// [`Prefetcher::reset_state`].
+    fn on_fault(&mut self, _tick: u64) {
+        self.reset_state();
+    }
+}
+
+/// Boxed prefetchers forward the trait, so wrappers generic over
+/// `P: Prefetcher` (e.g. `ResilientPrefetcher`) compose with dynamic
+/// dispatch.
+impl Prefetcher for Box<dyn Prefetcher> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_miss(&mut self, miss: &MissEvent) -> Vec<u64> {
+        (**self).on_miss(miss)
+    }
+
+    fn on_hit(&mut self, page: u64, tick: u64) {
+        (**self).on_hit(page, tick)
+    }
+
+    fn on_feedback(&mut self, feedback: &PrefetchFeedback) {
+        (**self).on_feedback(feedback)
+    }
+
+    fn reset_state(&mut self) {
+        (**self).reset_state()
+    }
+
+    fn on_fault(&mut self, tick: u64) {
+        (**self).on_fault(tick)
+    }
 }
 
 /// Routes each stream's misses to a private sub-prefetcher built on
@@ -104,6 +152,12 @@ impl Prefetcher for DemuxPrefetcher {
             .entry(miss.stream)
             .or_insert_with(|| (self.make)(miss.stream));
         sub.on_miss(miss)
+    }
+
+    fn reset_state(&mut self) {
+        for sub in self.subs.values_mut() {
+            sub.reset_state();
+        }
     }
 }
 

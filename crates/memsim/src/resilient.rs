@@ -1,0 +1,710 @@
+//! Graceful degradation for learned prefetchers.
+//!
+//! A learned model trained on the fair-weather miss stream keeps
+//! issuing confident-but-wrong prefetches when the system underneath
+//! it degrades — and under a degraded link every wasted prefetch
+//! competes with demand traffic. [`ResilientPrefetcher`] wraps any
+//! [`Prefetcher`] with a watchdog that tracks the wrapped model's
+//! recent outcome accuracy and walks a health ladder:
+//!
+//! ```text
+//! Healthy ──▶ Throttled ──▶ Fallback ──▶ Disabled
+//!    ◀─────────  (hysteresis-gated recovery)  ◀──┘
+//! ```
+//!
+//! * **Healthy** — the inner model's candidates pass through.
+//! * **Throttled** — candidates are capped at a reduced issue width.
+//! * **Fallback** — the inner model is benched; a cheap stride
+//!   heuristic covers the regular part of the workload while the
+//!   inner model keeps training and is probed periodically.
+//! * **Disabled** — nothing is issued; after a cooldown the wrapper
+//!   re-enters Fallback and tries again.
+//!
+//! Downward transitions are immediate (a misbehaving model is pulled
+//! fast); upward transitions require several consecutive good
+//! evaluation windows (hysteresis), so the wrapper does not flap at a
+//! threshold boundary.
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::Serialize;
+
+use crate::prefetcher::{MissEvent, PrefetchFeedback, Prefetcher};
+
+/// Watchdog parameters for [`ResilientPrefetcher`].
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    /// Outcome-window length per source (inner / fallback).
+    pub window: usize,
+    /// Minimum outcomes in a window before it is judged.
+    pub min_observations: usize,
+    /// Healthy → Throttled when inner accuracy drops below this.
+    pub throttle_below: f64,
+    /// → Fallback when inner accuracy drops below this.
+    pub fallback_below: f64,
+    /// Fallback → Disabled when even stride accuracy drops below this
+    /// (the access stream itself is hostile — stop prefetching).
+    pub disable_below: f64,
+    /// Accuracy required for an upward step.
+    pub recover_above: f64,
+    /// Consecutive good evaluations required for an upward step.
+    pub hysteresis: u32,
+    /// Feedback events between evaluations.
+    pub eval_period: usize,
+    /// Candidate cap while Throttled.
+    pub throttled_max_issue: usize,
+    /// Misses to sit out while Disabled before retrying Fallback.
+    pub disabled_cooldown: usize,
+    /// In Fallback, every `probe_period`-th miss also issues the inner
+    /// model's top candidate to measure whether it has recovered.
+    pub probe_period: usize,
+    /// Cap on remembered issued-page attributions.
+    pub track_limit: usize,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        Self {
+            window: 64,
+            min_observations: 16,
+            throttle_below: 0.45,
+            fallback_below: 0.25,
+            disable_below: 0.10,
+            recover_above: 0.60,
+            hysteresis: 2,
+            eval_period: 8,
+            throttled_max_issue: 1,
+            disabled_cooldown: 64,
+            probe_period: 16,
+            track_limit: 4096,
+        }
+    }
+}
+
+/// The wrapper's position on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Inner model passes through untouched.
+    Healthy,
+    /// Inner model capped at a reduced issue width.
+    Throttled,
+    /// Inner model benched; stride fallback issues, inner is probed.
+    Fallback,
+    /// No prefetches at all; waiting out a cooldown.
+    Disabled,
+}
+
+impl HealthState {
+    /// Stable lowercase label (used in JSON reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Throttled => "throttled",
+            HealthState::Fallback => "fallback",
+            HealthState::Disabled => "disabled",
+        }
+    }
+}
+
+impl serde::Serialize for HealthState {
+    fn to_value(&self) -> serde::Value {
+        self.label().to_string().to_value()
+    }
+}
+
+/// What the watchdog did over a run (for reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ResilienceStats {
+    /// State transitions taken.
+    pub transitions: u64,
+    /// Misses observed while Healthy.
+    pub misses_healthy: u64,
+    /// Misses observed while Throttled.
+    pub misses_throttled: u64,
+    /// Misses observed while Fallback.
+    pub misses_fallback: u64,
+    /// Misses observed while Disabled.
+    pub misses_disabled: u64,
+    /// Fault notifications received.
+    pub faults_seen: u64,
+}
+
+/// Which issuer a tracked prefetch came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Inner,
+    Fallback,
+}
+
+/// A bounded sliding window of prefetch outcomes.
+#[derive(Debug, Default)]
+struct OutcomeWindow {
+    outcomes: VecDeque<bool>,
+    cap: usize,
+}
+
+impl OutcomeWindow {
+    fn new(cap: usize) -> Self {
+        Self {
+            outcomes: VecDeque::with_capacity(cap),
+            cap,
+        }
+    }
+
+    fn push(&mut self, good: bool) {
+        if self.outcomes.len() == self.cap {
+            self.outcomes.pop_front();
+        }
+        self.outcomes.push_back(good);
+    }
+
+    fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    fn accuracy(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|&&g| g).count() as f64 / self.outcomes.len() as f64
+    }
+
+    fn clear(&mut self) {
+        self.outcomes.clear();
+    }
+}
+
+/// Per-stream state for the built-in stride fallback (a deliberately
+/// boring heuristic: two confirmations of the same delta, then issue
+/// the next two pages along it).
+#[derive(Debug, Default, Clone, Copy)]
+struct StrideState {
+    last_page: Option<u64>,
+    delta: i64,
+    streak: u32,
+}
+
+impl StrideState {
+    fn observe(&mut self, page: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if let Some(last) = self.last_page {
+            let d = page as i64 - last as i64;
+            if d != 0 && d == self.delta {
+                self.streak += 1;
+            } else {
+                self.delta = d;
+                self.streak = u32::from(d != 0);
+            }
+            if self.streak >= 2 {
+                for k in 1..=2i64 {
+                    let cand = page as i64 + self.delta * k;
+                    if cand >= 0 {
+                        out.push(cand as u64);
+                    }
+                }
+            }
+        }
+        self.last_page = Some(page);
+        out
+    }
+}
+
+/// Wraps any [`Prefetcher`] with fault-aware graceful degradation.
+pub struct ResilientPrefetcher<P: Prefetcher> {
+    inner: P,
+    cfg: ResilientConfig,
+    name: String,
+    state: HealthState,
+    /// Outcome windows indexed by source: [inner, fallback].
+    windows: [OutcomeWindow; 2],
+    /// Inner-probe outcomes while in Fallback.
+    probe_window: OutcomeWindow,
+    /// Issued page → source, bounded FIFO.
+    issued: HashMap<u64, Source>,
+    issue_order: VecDeque<u64>,
+    /// Whether a tracked inner page was a Fallback-mode probe.
+    probes: HashMap<u64, ()>,
+    stride: HashMap<u16, StrideState>,
+    feedback_seen: usize,
+    good_evals: u32,
+    misses_since_disable: usize,
+    misses_since_probe: usize,
+    /// What-happened counters.
+    pub stats: ResilienceStats,
+}
+
+impl<P: Prefetcher> ResilientPrefetcher<P> {
+    /// Wraps `inner` with the default watchdog config.
+    pub fn new(inner: P) -> Self {
+        Self::with_config(inner, ResilientConfig::default())
+    }
+
+    /// Wraps `inner` with an explicit config.
+    pub fn with_config(inner: P, cfg: ResilientConfig) -> Self {
+        let name = format!("resilient({})", inner.name());
+        Self {
+            inner,
+            name,
+            state: HealthState::Healthy,
+            windows: [
+                OutcomeWindow::new(cfg.window),
+                OutcomeWindow::new(cfg.window),
+            ],
+            probe_window: OutcomeWindow::new(cfg.window.max(8) / 2),
+            issued: HashMap::new(),
+            issue_order: VecDeque::new(),
+            probes: HashMap::new(),
+            stride: HashMap::new(),
+            feedback_seen: 0,
+            good_evals: 0,
+            misses_since_disable: 0,
+            misses_since_probe: 0,
+            stats: ResilienceStats::default(),
+            cfg,
+        }
+    }
+
+    /// Current ladder position.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// The wrapped prefetcher.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn transition(&mut self, to: HealthState) {
+        if to == self.state {
+            return;
+        }
+        self.state = to;
+        self.stats.transitions += 1;
+        self.good_evals = 0;
+        self.windows[0].clear();
+        self.windows[1].clear();
+        self.probe_window.clear();
+        self.misses_since_disable = 0;
+        self.misses_since_probe = 0;
+    }
+
+    fn track(&mut self, page: u64, source: Source, probe: bool) {
+        if self.issued.len() >= self.cfg.track_limit {
+            if let Some(old) = self.issue_order.pop_front() {
+                self.issued.remove(&old);
+                self.probes.remove(&old);
+            }
+        }
+        if self.issued.insert(page, source).is_none() {
+            self.issue_order.push_back(page);
+        }
+        if probe {
+            self.probes.insert(page, ());
+        }
+    }
+
+    /// Applies the state machine after a feedback batch.
+    fn evaluate(&mut self) {
+        if !self.feedback_seen.is_multiple_of(self.cfg.eval_period) {
+            return;
+        }
+        match self.state {
+            HealthState::Healthy | HealthState::Throttled => {
+                let w = &self.windows[Source::Inner as usize];
+                if w.len() < self.cfg.min_observations {
+                    return;
+                }
+                let acc = w.accuracy();
+                if acc < self.cfg.fallback_below {
+                    self.transition(HealthState::Fallback);
+                } else if acc < self.cfg.throttle_below {
+                    // Within Throttled this resets recovery credit
+                    // rather than transitioning again.
+                    self.good_evals = 0;
+                    self.transition(HealthState::Throttled);
+                } else if self.state == HealthState::Throttled && acc >= self.cfg.recover_above {
+                    self.good_evals += 1;
+                    if self.good_evals >= self.cfg.hysteresis {
+                        self.transition(HealthState::Healthy);
+                    }
+                } else {
+                    self.good_evals = 0;
+                }
+            }
+            HealthState::Fallback => {
+                let fw = &self.windows[Source::Fallback as usize];
+                if fw.len() >= self.cfg.min_observations && fw.accuracy() < self.cfg.disable_below {
+                    self.transition(HealthState::Disabled);
+                    return;
+                }
+                // Recovery is judged on the probe stream only: the
+                // benched model must prove itself before being
+                // re-trusted.
+                if self.probe_window.len() >= self.cfg.min_observations / 2
+                    && self.probe_window.accuracy() >= self.cfg.recover_above
+                {
+                    self.good_evals += 1;
+                    if self.good_evals >= self.cfg.hysteresis {
+                        self.transition(HealthState::Throttled);
+                    }
+                } else {
+                    self.good_evals = 0;
+                }
+            }
+            HealthState::Disabled => {}
+        }
+    }
+}
+
+impl<P: Prefetcher> Prefetcher for ResilientPrefetcher<P> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_miss(&mut self, miss: &MissEvent) -> Vec<u64> {
+        match self.state {
+            HealthState::Healthy => self.stats.misses_healthy += 1,
+            HealthState::Throttled => self.stats.misses_throttled += 1,
+            HealthState::Fallback => self.stats.misses_fallback += 1,
+            HealthState::Disabled => self.stats.misses_disabled += 1,
+        }
+        // The inner model always sees the miss stream (it keeps
+        // training even while benched); the stride tracker likewise.
+        let inner_out = self.inner.on_miss(miss);
+        let stride_out = self
+            .stride
+            .entry(miss.stream)
+            .or_default()
+            .observe(miss.page);
+        match self.state {
+            HealthState::Healthy => {
+                for &p in &inner_out {
+                    self.track(p, Source::Inner, false);
+                }
+                inner_out
+            }
+            HealthState::Throttled => {
+                let capped: Vec<u64> = inner_out
+                    .into_iter()
+                    .take(self.cfg.throttled_max_issue)
+                    .collect();
+                for &p in &capped {
+                    self.track(p, Source::Inner, false);
+                }
+                capped
+            }
+            HealthState::Fallback => {
+                let mut out = stride_out;
+                for &p in &out {
+                    self.track(p, Source::Fallback, false);
+                }
+                self.misses_since_probe += 1;
+                if self.misses_since_probe >= self.cfg.probe_period {
+                    self.misses_since_probe = 0;
+                    if let Some(&probe) = inner_out.first() {
+                        if !out.contains(&probe) {
+                            self.track(probe, Source::Inner, true);
+                            out.push(probe);
+                        }
+                    }
+                }
+                out
+            }
+            HealthState::Disabled => {
+                self.misses_since_disable += 1;
+                if self.misses_since_disable >= self.cfg.disabled_cooldown {
+                    self.transition(HealthState::Fallback);
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_hit(&mut self, page: u64, tick: u64) {
+        self.inner.on_hit(page, tick);
+    }
+
+    fn on_feedback(&mut self, feedback: &PrefetchFeedback) {
+        let (page, good) = match *feedback {
+            PrefetchFeedback::Useful { page } => (page, true),
+            PrefetchFeedback::Late { page, .. } => (page, false),
+            PrefetchFeedback::Unused { page } => (page, false),
+            PrefetchFeedback::Cancelled { page } => (page, false),
+        };
+        if let Some(source) = self.issued.remove(&page) {
+            let probe = self.probes.remove(&page).is_some();
+            if probe {
+                self.probe_window.push(good);
+            } else {
+                self.windows[source as usize].push(good);
+            }
+            // The inner model only hears about its own prefetches:
+            // fallback outcomes would corrupt its self-assessment.
+            if source == Source::Inner {
+                self.inner.on_feedback(feedback);
+            }
+            self.feedback_seen += 1;
+            self.evaluate();
+        } else {
+            // Untracked (evicted from the FIFO): still the inner
+            // model's business if it is the active issuer.
+            if self.state == HealthState::Healthy || self.state == HealthState::Throttled {
+                self.inner.on_feedback(feedback);
+            }
+        }
+    }
+
+    fn reset_state(&mut self) {
+        self.inner.reset_state();
+        self.windows[0].clear();
+        self.windows[1].clear();
+        self.probe_window.clear();
+        self.issued.clear();
+        self.issue_order.clear();
+        self.probes.clear();
+        self.stride.clear();
+        self.good_evals = 0;
+        self.misses_since_disable = 0;
+        self.misses_since_probe = 0;
+    }
+
+    fn on_fault(&mut self, tick: u64) {
+        self.stats.faults_seen += 1;
+        self.inner.on_fault(tick);
+        // A restart invalidates the accuracy windows along with the
+        // attribution maps: they describe the pre-fault model, and the
+        // inner model just lost its transient state.
+        let demote = self.state == HealthState::Healthy;
+        self.reset_state();
+        if demote {
+            // A restarted node's model predicts from cold state; start
+            // it back up cautiously.
+            self.transition(HealthState::Throttled);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Issues `page + 1`; name for reports.
+    struct NextLine;
+    impl Prefetcher for NextLine {
+        fn name(&self) -> &str {
+            "next-line"
+        }
+        fn on_miss(&mut self, miss: &MissEvent) -> Vec<u64> {
+            vec![miss.page + 1]
+        }
+    }
+
+    fn miss(page: u64, tick: u64) -> MissEvent {
+        MissEvent {
+            page,
+            tick,
+            stream: 0,
+        }
+    }
+
+    fn quick_cfg() -> ResilientConfig {
+        ResilientConfig {
+            window: 16,
+            min_observations: 8,
+            eval_period: 4,
+            hysteresis: 2,
+            disabled_cooldown: 8,
+            probe_period: 4,
+            ..ResilientConfig::default()
+        }
+    }
+
+    /// Feeds `n` outcomes for pages the wrapper just issued.
+    fn drive(p: &mut ResilientPrefetcher<NextLine>, n: usize, good: bool, tick0: &mut u64) {
+        for _ in 0..n {
+            let out = p.on_miss(&miss(*tick0 * 10, *tick0));
+            *tick0 += 1;
+            for page in out {
+                let fb = if good {
+                    PrefetchFeedback::Useful { page }
+                } else {
+                    PrefetchFeedback::Unused { page }
+                };
+                p.on_feedback(&fb);
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_passes_through_and_stays_healthy() {
+        let mut p = ResilientPrefetcher::with_config(NextLine, quick_cfg());
+        assert_eq!(p.name(), "resilient(next-line)");
+        let mut t = 1;
+        drive(&mut p, 40, true, &mut t);
+        assert_eq!(p.state(), HealthState::Healthy);
+        assert_eq!(p.stats.transitions, 0);
+        let out = p.on_miss(&miss(7, 999));
+        assert_eq!(out, vec![8], "healthy = inner verbatim");
+    }
+
+    #[test]
+    fn sustained_pollution_walks_down_to_fallback() {
+        let mut p = ResilientPrefetcher::with_config(NextLine, quick_cfg());
+        let mut t = 1;
+        drive(&mut p, 60, false, &mut t);
+        assert_eq!(p.state(), HealthState::Fallback);
+        assert!(p.stats.transitions >= 1);
+    }
+
+    #[test]
+    fn fallback_issues_strides_not_inner() {
+        let mut p = ResilientPrefetcher::with_config(NextLine, quick_cfg());
+        let mut t = 1;
+        drive(&mut p, 60, false, &mut t);
+        assert_eq!(p.state(), HealthState::Fallback);
+        // A clean stride stream: fallback must issue along the delta.
+        let mut got_stride = false;
+        for k in 0..8u64 {
+            let out = p.on_miss(&miss(1000 + 4 * k, 5000 + k));
+            if out.contains(&(1000 + 4 * k + 4)) {
+                got_stride = true;
+            }
+            // Never the raw inner candidate stream (page+1), except a
+            // periodic tagged probe.
+            assert!(out.len() <= 3);
+        }
+        assert!(got_stride, "stride fallback kicks in on regular streams");
+    }
+
+    #[test]
+    fn recovery_requires_hysteresis() {
+        let cfg = quick_cfg();
+        let mut p = ResilientPrefetcher::with_config(NextLine, cfg);
+        let mut t = 1;
+        // Down to Throttled: mix of good/bad below throttle_below but
+        // above fallback_below (~35% good).
+        for k in 0..60usize {
+            let out = p.on_miss(&miss(t * 10, t));
+            t += 1;
+            for page in out {
+                let fb = if k % 3 == 0 {
+                    PrefetchFeedback::Useful { page }
+                } else {
+                    PrefetchFeedback::Unused { page }
+                };
+                p.on_feedback(&fb);
+            }
+        }
+        assert_eq!(p.state(), HealthState::Throttled);
+        let transitions_before = p.stats.transitions;
+        // One good evaluation window is not enough (hysteresis = 2)...
+        drive(&mut p, 8, true, &mut t);
+        assert_eq!(p.state(), HealthState::Throttled);
+        // ...sustained goodness is.
+        drive(&mut p, 40, true, &mut t);
+        assert_eq!(p.state(), HealthState::Healthy);
+        assert_eq!(p.stats.transitions, transitions_before + 1);
+    }
+
+    #[test]
+    fn hostile_stream_disables_then_cooldown_reenters_fallback() {
+        let mut p = ResilientPrefetcher::with_config(NextLine, quick_cfg());
+        let mut t = 1;
+        drive(&mut p, 60, false, &mut t);
+        assert_eq!(p.state(), HealthState::Fallback);
+        // Strided misses so the fallback issues — then poison every
+        // outcome so even the fallback looks useless.
+        for k in 0..80u64 {
+            let out = p.on_miss(&miss(10_000 + 4 * k, t));
+            t += 1;
+            for page in out {
+                p.on_feedback(&PrefetchFeedback::Unused { page });
+            }
+            if p.state() == HealthState::Disabled {
+                break;
+            }
+        }
+        assert_eq!(p.state(), HealthState::Disabled);
+        // Disabled issues nothing, then re-enters Fallback after the
+        // cooldown.
+        for k in 0..8u64 {
+            let out = p.on_miss(&miss(50_000 + k, t));
+            t += 1;
+            assert!(out.is_empty(), "disabled must stay silent");
+        }
+        assert_eq!(p.state(), HealthState::Fallback);
+    }
+
+    #[test]
+    fn on_fault_resets_and_demotes_healthy() {
+        let mut p = ResilientPrefetcher::with_config(NextLine, quick_cfg());
+        let mut t = 1;
+        drive(&mut p, 20, true, &mut t);
+        assert_eq!(p.state(), HealthState::Healthy);
+        p.on_fault(12345);
+        assert_eq!(
+            p.state(),
+            HealthState::Throttled,
+            "cold restart is cautious"
+        );
+        assert_eq!(p.stats.faults_seen, 1);
+        // Degraded states are not promoted by a fault.
+        drive(&mut p, 60, false, &mut t);
+        let state = p.state();
+        p.on_fault(23456);
+        assert_eq!(p.state(), state);
+    }
+
+    #[test]
+    fn cancelled_feedback_counts_against_the_model() {
+        let mut p = ResilientPrefetcher::with_config(NextLine, quick_cfg());
+        for t in 1..=60u64 {
+            let out = p.on_miss(&miss(t * 10, t));
+            for page in out {
+                p.on_feedback(&PrefetchFeedback::Cancelled { page });
+            }
+            if p.state() != HealthState::Healthy {
+                break;
+            }
+        }
+        assert_ne!(
+            p.state(),
+            HealthState::Healthy,
+            "a fault-cancelled prefetch stream must degrade the wrapper"
+        );
+    }
+
+    #[test]
+    fn throttled_caps_issue_width() {
+        struct Wide;
+        impl Prefetcher for Wide {
+            fn name(&self) -> &str {
+                "wide"
+            }
+            fn on_miss(&mut self, miss: &MissEvent) -> Vec<u64> {
+                (1..=8).map(|k| miss.page + k).collect()
+            }
+        }
+        let mut p = ResilientPrefetcher::with_config(Wide, quick_cfg());
+        let mut t = 1u64;
+        // Degrade to Throttled with ~1/3 accuracy.
+        for k in 0..60usize {
+            let out = p.on_miss(&miss(t * 100, t));
+            t += 1;
+            for page in out {
+                let fb = if k % 3 == 0 {
+                    PrefetchFeedback::Useful { page }
+                } else {
+                    PrefetchFeedback::Unused { page }
+                };
+                p.on_feedback(&fb);
+            }
+            if p.state() == HealthState::Throttled {
+                break;
+            }
+        }
+        assert_eq!(p.state(), HealthState::Throttled);
+        let out = p.on_miss(&miss(9_999_999, t));
+        assert_eq!(out.len(), 1, "throttled = reduced issue width");
+    }
+}

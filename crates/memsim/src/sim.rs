@@ -24,7 +24,7 @@ use hnp_trace::Trace;
 
 use crate::evict::EvictionPolicy;
 use crate::memory::LocalMemory;
-use crate::prefetcher::{MissEvent, Prefetcher, PrefetchFeedback};
+use crate::prefetcher::{MissEvent, PrefetchFeedback, Prefetcher};
 
 /// Simulator parameters.
 #[derive(Debug, Clone)]
@@ -122,8 +122,7 @@ impl SimReport {
         if baseline.misses() == 0 {
             0.0
         } else {
-            100.0 * (baseline.misses() as f64 - self.misses() as f64)
-                / baseline.misses() as f64
+            100.0 * (baseline.misses() as f64 - self.misses() as f64) / baseline.misses() as f64
         }
     }
 

@@ -66,7 +66,11 @@ pub fn argmax(xs: &[f32]) -> Option<usize> {
 /// Returns fewer than `k` indices if the slice is shorter than `k`.
 pub fn top_k(xs: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[b]
+            .partial_cmp(&xs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(k);
     idx
 }

@@ -48,7 +48,10 @@ impl CausalSelfAttention {
     ///
     /// Panics if `heads` does not divide `dim`.
     pub fn new(dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
-        assert!(heads > 0 && dim.is_multiple_of(heads), "heads must divide dim");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "heads must divide dim"
+        );
         Self {
             dim,
             heads,

@@ -450,7 +450,7 @@ impl LstmNetwork {
         let wx_t = self.w_x.transpose(); // E x 4H
         let wh_t = self.w_h.transpose(); // H x 4H
         let wout_t = self.w_out.transpose(); // H x V
-        // Forward.
+                                             // Forward.
         let mut h = Matrix::zeros(b, hdim);
         let mut c = Matrix::zeros(b, hdim);
         struct BatchStep {
@@ -467,7 +467,8 @@ impl LstmNetwork {
         for t in 0..t_len {
             let mut x = Matrix::zeros(b, edim);
             for (r, (tokens, _)) in examples.iter().enumerate() {
-                x.row_mut(r).copy_from_slice(self.embedding.lookup(tokens[t]));
+                x.row_mut(r)
+                    .copy_from_slice(self.embedding.lookup(tokens[t]));
             }
             let mut z = x.matmul(&wx_t);
             z.add_assign(&h.matmul(&wh_t));
@@ -857,8 +858,9 @@ mod tests {
     #[test]
     fn batch_training_reduces_loss() {
         let mut net = LstmNetwork::new(LstmConfig::tiny());
-        let examples: Vec<(Vec<usize>, usize)> =
-            (0..8).map(|i| (vec![i % 4, (i + 1) % 4], (i + 2) % 4)).collect();
+        let examples: Vec<(Vec<usize>, usize)> = (0..8)
+            .map(|i| (vec![i % 4, (i + 1) % 4], (i + 2) % 4))
+            .collect();
         let first = net.train_batch(&examples, 0.2);
         let mut last = first;
         for _ in 0..200 {

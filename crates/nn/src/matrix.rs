@@ -100,7 +100,12 @@ impl Matrix {
     ///
     /// Panics if `r >= rows`.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -110,7 +115,12 @@ impl Matrix {
     ///
     /// Panics if `r >= rows`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 

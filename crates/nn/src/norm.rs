@@ -58,13 +58,7 @@ impl RmsNorm {
             .zip(self.gain.iter())
             .map(|(&v, &g)| g * v / rms)
             .collect();
-        (
-            y,
-            RmsNormCache {
-                x: x.to_vec(),
-                rms,
-            },
-        )
+        (y, RmsNormCache { x: x.to_vec(), rms })
     }
 
     /// Backward: accumulates the gain gradient and returns `dx`.
@@ -129,8 +123,20 @@ mod tests {
             xp[i] += eps;
             let mut xm = x;
             xm[i] -= eps;
-            let lp: f32 = n.forward(&xp).0.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
-            let lm: f32 = n.forward(&xm).0.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+            let lp: f32 = n
+                .forward(&xp)
+                .0
+                .iter()
+                .zip(w.iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = n
+                .forward(&xm)
+                .0
+                .iter()
+                .zip(w.iter())
+                .map(|(a, b)| a * b)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (dx[i] - numeric).abs() < 1e-3,
@@ -155,8 +161,20 @@ mod tests {
             np.gain[i] += eps;
             let mut nm = RmsNorm::new(3);
             nm.gain[i] -= eps;
-            let lp: f32 = np.forward(&x).0.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
-            let lm: f32 = nm.forward(&x).0.iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+            let lp: f32 = np
+                .forward(&x)
+                .0
+                .iter()
+                .zip(w.iter())
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = nm
+                .forward(&x)
+                .0
+                .iter()
+                .zip(w.iter())
+                .map(|(a, b)| a * b)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (analytic[i] - numeric).abs() < 1e-3,

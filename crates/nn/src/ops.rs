@@ -37,10 +37,7 @@ impl OpCounts {
         // counted explicitly here: dW products (2 ops/MAC), dx/dh
         // products (2 ops/MAC), elementwise gate derivatives (~12/h
         // unit) and the SGD update (2 ops per parameter).
-        let training_ops = inference_ops
-            + 2 * (gate_macs + proj_macs) * 2
-            + 12 * h
-            + 2 * params;
+        let training_ops = inference_ops + 2 * (gate_macs + proj_macs) * 2 + 12 * h + 2 * params;
         Self {
             params,
             inference_ops,
@@ -139,7 +136,11 @@ mod tests {
         // Table 2: LSTM 170 k params, >170 k FP inference ops, >400 k
         // FP training ops.
         let c = OpCounts::lstm(500, 50, 128);
-        assert!((150_000..220_000).contains(&c.params), "params {}", c.params);
+        assert!(
+            (150_000..220_000).contains(&c.params),
+            "params {}",
+            c.params
+        );
         assert!(c.inference_ops > 170_000, "inference {}", c.inference_ops);
         assert!(c.training_ops > 400_000, "training {}", c.training_ops);
         assert!(!c.integer);

@@ -117,7 +117,9 @@ mod tests {
 
     /// Minimizes `f(x) = (x - 3)^2` elementwise.
     fn quadratic_grad(param: &Matrix) -> Matrix {
-        Matrix::from_fn(param.rows(), param.cols(), |r, c| 2.0 * (param[(r, c)] - 3.0))
+        Matrix::from_fn(param.rows(), param.cols(), |r, c| {
+            2.0 * (param[(r, c)] - 3.0)
+        })
     }
 
     #[test]

@@ -18,9 +18,11 @@
 use serde::Serialize;
 
 use hnp_memsim::memory::LocalMemory;
-use hnp_memsim::prefetcher::{MissEvent, Prefetcher, PrefetchFeedback};
+use hnp_memsim::prefetcher::{MissEvent, PrefetchFeedback, Prefetcher};
 use hnp_memsim::EvictionPolicy;
 use hnp_trace::Trace;
+
+use crate::fault::FaultInjector;
 
 /// Cluster parameters.
 #[derive(Debug, Clone)]
@@ -43,6 +45,17 @@ pub struct DisaggConfig {
     /// Extra stall ticks per queued transfer ahead of a demand fetch
     /// on a saturated switch.
     pub contention_penalty: u64,
+    /// Base backoff in ticks before retrying a demand fetch dropped by
+    /// a lossy link (doubles per attempt, capped at
+    /// `retry_backoff_cap`).
+    pub retry_backoff: u64,
+    /// Ceiling for the exponential retry backoff.
+    pub retry_backoff_cap: u64,
+    /// Dropped-demand-fetch retries before declaring a timeout.
+    pub max_retries: u32,
+    /// Extra stall charged when demand-fetch retries are exhausted
+    /// (the recovery path — the fetch then completes out-of-band).
+    pub timeout_penalty: u64,
 }
 
 impl Default for DisaggConfig {
@@ -54,12 +67,16 @@ impl Default for DisaggConfig {
             max_issue_per_miss: 4,
             shared_link_slots: 0,
             contention_penalty: 10,
+            retry_backoff: 25,
+            retry_backoff_cap: 400,
+            max_retries: 4,
+            timeout_penalty: 500,
         }
     }
 }
 
 /// Per-node counters from one cluster run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct NodeReport {
     /// Node index.
     pub node: usize,
@@ -73,12 +90,20 @@ pub struct NodeReport {
     pub prefetches_useful: usize,
     /// Prefetches dropped at the saturated shared switch.
     pub prefetches_dropped: usize,
+    /// In-flight prefetches cancelled by faults (lossy link, crash).
+    pub prefetches_cancelled: usize,
+    /// Demand-fetch retries after fault-dropped transfers.
+    pub retries: usize,
+    /// Demand fetches that exhausted their retries.
+    pub timeouts: usize,
+    /// Crash/restart cycles this node went through.
+    pub restarts: usize,
     /// Ticks this node spent stalled on the link.
     pub stall_ticks: u64,
 }
 
 /// Aggregate cluster report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DisaggReport {
     /// Placement label ("decentralized" / "centralized").
     pub placement: String,
@@ -127,6 +152,11 @@ struct NodeState {
     memory: LocalMemory,
     /// In-flight prefetches: (page, arrival tick).
     inflight: Vec<(u64, u64)>,
+    /// Prefetch transfers a lossy link already killed: (page, tick at
+    /// which the loss is discovered). The dead transfer crossed the
+    /// switch, so it holds its occupancy slot — and counts against
+    /// `max_inflight` — until its scheduled arrival.
+    doomed: Vec<(u64, u64)>,
     cursor: usize,
     /// Tick at which this node finishes its current stall.
     busy_until: u64,
@@ -157,9 +187,28 @@ impl DisaggregatedCluster {
         traces: &[Trace],
         prefetchers: &mut [Box<dyn Prefetcher>],
     ) -> DisaggReport {
+        self.run_decentralized_with_faults(traces, prefetchers, &mut FaultInjector::disabled())
+    }
+
+    /// [`Self::run_decentralized`] under a fault injector. With an
+    /// empty schedule the report is bit-identical to the fault-free
+    /// run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces.len() != prefetchers.len()` or either is
+    /// empty.
+    pub fn run_decentralized_with_faults(
+        &self,
+        traces: &[Trace],
+        prefetchers: &mut [Box<dyn Prefetcher>],
+        injector: &mut FaultInjector,
+    ) -> DisaggReport {
         assert!(!traces.is_empty(), "no nodes");
         assert_eq!(traces.len(), prefetchers.len(), "one prefetcher per node");
-        self.run(traces, prefetchers, "decentralized")
+        let mut refs: Vec<&mut (dyn Prefetcher + '_)> =
+            prefetchers.iter_mut().map(|p| p.as_mut() as _).collect();
+        self.run_inner(traces, &mut refs, false, "decentralized", injector)
     }
 
     /// Runs with a single shared prefetcher observing the interleaved
@@ -173,41 +222,49 @@ impl DisaggregatedCluster {
         traces: &[Trace],
         prefetcher: &mut dyn Prefetcher,
     ) -> DisaggReport {
-        assert!(!traces.is_empty(), "no nodes");
-        let mut single: Vec<&mut dyn Prefetcher> = vec![prefetcher];
-        self.run_inner(traces, &mut single, true, "centralized")
+        self.run_centralized_with_faults(traces, prefetcher, &mut FaultInjector::disabled())
     }
 
-    fn run(
+    /// [`Self::run_centralized`] under a fault injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn run_centralized_with_faults(
         &self,
         traces: &[Trace],
-        prefetchers: &mut [Box<dyn Prefetcher>],
-        label: &str,
+        prefetcher: &mut dyn Prefetcher,
+        injector: &mut FaultInjector,
     ) -> DisaggReport {
-        let mut refs: Vec<&mut (dyn Prefetcher + '_)> =
-            prefetchers.iter_mut().map(|p| p.as_mut() as _).collect();
-        self.run_inner(traces, &mut refs, false, label)
+        assert!(!traces.is_empty(), "no nodes");
+        let mut single: Vec<&mut dyn Prefetcher> = vec![prefetcher];
+        self.run_inner(traces, &mut single, true, "centralized", injector)
     }
 
     /// The lockstep-round driver. Nodes advance one access per round
     /// unless stalled; stalls last `link_latency` ticks. With
-    /// `shared == true` all misses go to `prefetchers[0]`.
+    /// `shared == true` all misses go to `prefetchers[0]`. The
+    /// injector shapes every transfer; when its schedule is empty it
+    /// returns base latencies and never touches its RNG, keeping the
+    /// run arithmetically identical to a fault-free one.
     fn run_inner(
         &self,
         traces: &[Trace],
         prefetchers: &mut [&mut dyn Prefetcher],
         shared: bool,
         label: &str,
+        injector: &mut FaultInjector,
     ) -> DisaggReport {
         let mut nodes: Vec<NodeState> = traces
             .iter()
             .enumerate()
             .map(|(i, t)| {
-                let cap = ((t.footprint_pages() as f64 * self.cfg.local_capacity_frac) as usize)
-                    .max(1);
+                let cap =
+                    ((t.footprint_pages() as f64 * self.cfg.local_capacity_frac) as usize).max(1);
                 NodeState {
                     memory: LocalMemory::new(cap, EvictionPolicy::Lru),
                     inflight: Vec::new(),
+                    doomed: Vec::new(),
                     cursor: 0,
                     busy_until: 0,
                     report: NodeReport {
@@ -217,38 +274,59 @@ impl DisaggregatedCluster {
                         prefetches_issued: 0,
                         prefetches_useful: 0,
                         prefetches_dropped: 0,
+                        prefetches_cancelled: 0,
+                        retries: 0,
+                        timeouts: 0,
+                        restarts: 0,
                         stall_ticks: 0,
                     },
                 }
             })
             .collect();
         let mut now: u64 = 0;
-        let slots = self.cfg.shared_link_slots;
         loop {
             let mut all_done = true;
+            // Brownouts can tighten (or impose) the slot budget.
+            let slots = injector.effective_slots(now, self.cfg.shared_link_slots);
             // Shared-switch occupancy snapshot for this round: nodes
             // mid-demand-fetch plus all in-flight prefetches.
             let mut occupancy = nodes.iter().filter(|n| n.busy_until > now).count()
-                + nodes.iter().map(|n| n.inflight.len()).sum::<usize>();
+                + nodes
+                    .iter()
+                    .map(|n| n.inflight.len() + n.doomed.len())
+                    .sum::<usize>();
             for (i, node) in nodes.iter_mut().enumerate() {
                 let trace = &traces[i];
                 if node.cursor >= trace.len() {
                     continue;
                 }
                 all_done = false;
+                let pf_idx = if shared { 0 } else { i };
+                // Crash/restart: flush local memory, cancel in-flight
+                // prefetches, reset the prefetcher's transient state,
+                // and hold the node down until the event ends.
+                if let Some(restart) = injector.take_crash(i, now) {
+                    node.report.restarts += 1;
+                    node.report.prefetches_cancelled += node.inflight.len() + node.doomed.len();
+                    for (page, _) in node.inflight.drain(..).chain(node.doomed.drain(..)) {
+                        prefetchers[pf_idx].on_feedback(&PrefetchFeedback::Cancelled { page });
+                    }
+                    node.memory.flush();
+                    prefetchers[pf_idx].on_fault(now);
+                    node.busy_until = node.busy_until.max(restart);
+                }
                 if node.busy_until > now {
                     continue; // Still stalled on the link.
                 }
                 // Land arrived prefetches (sorted for determinism).
                 node.inflight.sort_unstable();
-                let pf = if shared { 0 } else { i };
+                let pf = pf_idx;
                 let mut rest = Vec::new();
                 for &(page, arrival) in &node.inflight {
                     if arrival <= now {
                         if let Some((_, meta)) = node.memory.insert(page, true, now) {
                             if meta.prefetched && !meta.touched {
-                                prefetchers[pf]
-                                    .on_feedback(&PrefetchFeedback::Unused { page });
+                                prefetchers[pf].on_feedback(&PrefetchFeedback::Unused { page });
                             }
                         }
                     } else {
@@ -256,6 +334,19 @@ impl DisaggregatedCluster {
                     }
                 }
                 node.inflight = rest;
+                // Lossy-killed transfers reach their arrival deadline:
+                // the node discovers the loss and releases the slot.
+                node.doomed.sort_unstable();
+                let mut rest = Vec::new();
+                for &(page, arrival) in &node.doomed {
+                    if arrival <= now {
+                        node.report.prefetches_cancelled += 1;
+                        prefetchers[pf].on_feedback(&PrefetchFeedback::Cancelled { page });
+                    } else {
+                        rest.push((page, arrival));
+                    }
+                }
+                node.doomed = rest;
                 // One access this round.
                 let access = trace.accesses()[node.cursor];
                 let page = access.page(trace.page_shift());
@@ -277,13 +368,74 @@ impl DisaggregatedCluster {
                 // Fault: one page at a time, node stalls for the link.
                 node.report.misses += 1;
                 let in_flight_hit = node.inflight.iter().position(|&(p, _)| p == page);
+                let mut timed_out = false;
                 let mut stall = match in_flight_hit {
                     Some(idx) => {
                         let (_, arrival) = node.inflight.swap_remove(idx);
-                        arrival.saturating_sub(now)
+                        let remaining = arrival.saturating_sub(now);
+                        // Lateness is the resilience layer's signal
+                        // that transfers are queueing; fault-free runs
+                        // keep the legacy accounting (no feedback) so
+                        // they stay bit-identical to pre-fault output.
+                        if !injector.is_idle() && remaining > 0 {
+                            prefetchers[pf]
+                                .on_feedback(&PrefetchFeedback::Late { page, remaining });
+                        }
+                        remaining
                     }
-                    None => self.cfg.link_latency,
+                    None => {
+                        // A demand hit on a transfer the lossy link
+                        // already killed: the node waits out the
+                        // promised arrival, discovers the loss, and
+                        // only then falls back to a fresh fetch.
+                        let mut total = 0u64;
+                        if let Some(idx) = node.doomed.iter().position(|&(p, _)| p == page) {
+                            let (pg, arrival) = node.doomed.swap_remove(idx);
+                            node.report.prefetches_cancelled += 1;
+                            prefetchers[pf].on_feedback(&PrefetchFeedback::Cancelled { page: pg });
+                            total += arrival.saturating_sub(now);
+                        }
+                        // A fresh remote fetch. Lossy links drop it;
+                        // each drop costs the wasted round trip plus a
+                        // capped exponential backoff before the retry.
+                        // After `max_retries` the fetch times out: the
+                        // recovery path completes it with a flat
+                        // penalty so the node always makes progress.
+                        let mut attempt = 0u32;
+                        loop {
+                            if !injector.transfer_dropped(now + total) {
+                                total +=
+                                    injector.transfer_latency(now + total, self.cfg.link_latency);
+                                break;
+                            }
+                            total += injector.transfer_latency(now + total, self.cfg.link_latency);
+                            if attempt >= self.cfg.max_retries {
+                                node.report.timeouts += 1;
+                                timed_out = true;
+                                total += self.cfg.timeout_penalty;
+                                break;
+                            }
+                            node.report.retries += 1;
+                            total += (self.cfg.retry_backoff << attempt.min(16))
+                                .min(self.cfg.retry_backoff_cap);
+                            attempt += 1;
+                        }
+                        total
+                    }
                 };
+                // Retry exhaustion means the node tears down and
+                // re-establishes its fabric connection (the recovery
+                // path behind `timeout_penalty`). Every outstanding
+                // prefetch transfer dies with the connection; the
+                // cancellations are the model's only signal — a
+                // transport-level reset stays below its horizon.
+                // Local memory survives the reset.
+                if timed_out {
+                    node.report.prefetches_cancelled += node.inflight.len() + node.doomed.len();
+                    for (pg, _) in node.inflight.drain(..).chain(node.doomed.drain(..)) {
+                        prefetchers[pf].on_feedback(&PrefetchFeedback::Cancelled { page: pg });
+                    }
+                }
                 // Demand fetches queue behind a saturated switch.
                 if slots > 0 && occupancy > slots {
                     stall += self.cfg.contention_penalty * (occupancy - slots) as u64;
@@ -291,7 +443,8 @@ impl DisaggregatedCluster {
                 occupancy += 1;
                 node.report.stall_ticks += stall;
                 node.busy_until = now + stall;
-                node.memory.insert(page, in_flight_hit.is_some(), now + stall);
+                node.memory
+                    .insert(page, in_flight_hit.is_some(), now + stall);
                 node.memory.touch(page);
                 // Consult the prefetcher at fault time.
                 let miss = MissEvent {
@@ -300,24 +453,41 @@ impl DisaggregatedCluster {
                     stream: i as u16,
                 };
                 let candidates = prefetchers[pf].on_miss(&miss);
-                let arrival = now + self.cfg.link_latency;
                 let mut accepted = 0;
                 for cand in candidates {
                     if accepted >= self.cfg.max_issue_per_miss {
                         break;
                     }
-                    if node.memory.contains(cand)
-                        || node.inflight.iter().any(|&(p, _)| p == cand)
-                    {
+                    if node.memory.contains(cand) || node.inflight.iter().any(|&(p, _)| p == cand) {
                         continue;
                     }
-                    if node.inflight.len() >= self.cfg.max_inflight {
+                    if node.inflight.len() + node.doomed.len() >= self.cfg.max_inflight {
                         break;
                     }
-                    // Prefetches never queue: a saturated switch drops
-                    // them (they are not correctness-critical).
+                    // Prefetches never queue at a healthy switch: its
+                    // admission control drops them (they are not
+                    // correctness-critical). A browned-out switch has
+                    // lost that QoS path, so prefetch packets queue
+                    // behind demand traffic instead — and arrive late.
+                    let mut arrival = now + injector.transfer_latency(now, self.cfg.link_latency);
                     if slots > 0 && occupancy >= slots {
-                        node.report.prefetches_dropped += 1;
+                        if injector.in_brownout(now) {
+                            arrival += self.cfg.contention_penalty * (occupancy + 1 - slots) as u64;
+                        } else {
+                            node.report.prefetches_dropped += 1;
+                            continue;
+                        }
+                    }
+                    // A lossy link eats prefetches mid-flight: the
+                    // dead transfer still crosses the switch, so it
+                    // holds its slot and issue budget until its
+                    // scheduled arrival, where the node discovers the
+                    // loss and tells the model so it can back off
+                    // (hnp_memsim::resilient reacts to these).
+                    if injector.transfer_dropped(now) {
+                        node.doomed.push((cand, arrival));
+                        occupancy += 1;
+                        accepted += 1;
                         continue;
                     }
                     node.inflight.push((cand, arrival));
@@ -372,7 +542,10 @@ mod tests {
         assert_eq!(rep.nodes.len(), 3);
         let total_acc: usize = rep.nodes.iter().map(|n| n.accesses).sum();
         assert_eq!(total_acc, 4500);
-        assert!(rep.avg_stall_per_access() > 40.0, "thrash under 50% capacity");
+        assert!(
+            rep.avg_stall_per_access() > 40.0,
+            "thrash under 50% capacity"
+        );
     }
 
     #[test]
@@ -389,7 +562,10 @@ mod tests {
         let rep = sim.run_decentralized(&ts, &mut nl);
         assert!(rep.pct_misses_removed(&base) > 40.0);
         assert!(rep.total_stall() < base.total_stall());
-        assert!(rep.total_ticks < base.total_ticks, "latency hiding speeds the run");
+        assert!(
+            rep.total_ticks < base.total_ticks,
+            "latency hiding speeds the run"
+        );
     }
 
     #[test]
@@ -447,7 +623,9 @@ mod tests {
             ..DisaggConfig::default()
         });
         let mk = || -> Vec<Box<dyn Prefetcher>> {
-            (0..4).map(|_| Box::new(NextLine) as Box<dyn Prefetcher>).collect()
+            (0..4)
+                .map(|_| Box::new(NextLine) as Box<dyn Prefetcher>)
+                .collect()
         };
         let mut a = mk();
         let rep_free = free.run_decentralized(&ts, &mut a);

@@ -13,12 +13,19 @@
 //!
 //! Both reuse the page-memory substrate of `hnp-memsim` and accept any
 //! [`hnp_memsim::Prefetcher`].
+//!
+//! The [`fault`] module adds scripted, seeded fault injection (link
+//! spikes, lossy links, brownouts, slowdowns, node crashes) to both
+//! simulators; an empty schedule leaves runs bit-identical to the
+//! fault-free path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod disagg;
+pub mod fault;
 pub mod uvm;
 
 pub use disagg::{DisaggConfig, DisaggReport, DisaggregatedCluster};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, FaultStats};
 pub use uvm::{UvmConfig, UvmReport, UvmSim};

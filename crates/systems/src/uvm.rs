@@ -13,9 +13,11 @@
 use serde::Serialize;
 
 use hnp_memsim::memory::LocalMemory;
-use hnp_memsim::prefetcher::{MissEvent, Prefetcher, PrefetchFeedback};
+use hnp_memsim::prefetcher::{MissEvent, PrefetchFeedback, Prefetcher};
 use hnp_memsim::EvictionPolicy;
 use hnp_trace::Trace;
+
+use crate::fault::FaultInjector;
 
 /// UVM simulator parameters.
 #[derive(Debug, Clone)]
@@ -32,6 +34,17 @@ pub struct UvmConfig {
     pub max_inflight: usize,
     /// Prefetches accepted per fault.
     pub max_issue_per_fault: usize,
+    /// Base backoff in ticks before retrying a fault-batch migration
+    /// dropped by a lossy interconnect (doubles per attempt, capped at
+    /// `retry_backoff_cap`).
+    pub retry_backoff: u64,
+    /// Ceiling for the exponential retry backoff.
+    pub retry_backoff_cap: u64,
+    /// Dropped-migration retries before declaring a timeout.
+    pub max_retries: u32,
+    /// Extra stall charged when migration retries are exhausted (the
+    /// recovery path — the batch then completes out-of-band).
+    pub timeout_penalty: u64,
 }
 
 impl Default for UvmConfig {
@@ -42,12 +55,16 @@ impl Default for UvmConfig {
             per_page_latency: 5,
             max_inflight: 64,
             max_issue_per_fault: 4,
+            retry_backoff: 50,
+            retry_backoff_cap: 800,
+            max_retries: 4,
+            timeout_penalty: 1000,
         }
     }
 }
 
 /// Counters from one UVM run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct UvmReport {
     /// Prefetcher name.
     pub prefetcher: String,
@@ -65,6 +82,15 @@ pub struct UvmReport {
     pub prefetches_issued: usize,
     /// Useful prefetches.
     pub prefetches_useful: usize,
+    /// In-flight prefetches cancelled by faults (lossy link, device
+    /// reset).
+    pub prefetches_cancelled: usize,
+    /// Fault-batch migration retries after dropped transfers.
+    pub retries: usize,
+    /// Migrations that exhausted their retries.
+    pub timeouts: usize,
+    /// Device resets (crash events) survived.
+    pub restarts: usize,
     /// Total ticks (the throughput metric: lower = higher throughput).
     pub total_ticks: u64,
 }
@@ -116,6 +142,24 @@ impl UvmSim {
     ///
     /// Panics if `warps` is empty.
     pub fn run(&self, warps: &[Trace], prefetcher: &mut dyn Prefetcher) -> UvmReport {
+        self.run_with_faults(warps, prefetcher, &mut FaultInjector::disabled())
+    }
+
+    /// [`Self::run`] under a fault injector. The GPU is one failure
+    /// domain: any crash event resets the whole device (memory
+    /// flushed, in-flight prefetches cancelled, prefetcher transient
+    /// state dropped). With an empty schedule the report is
+    /// bit-identical to the fault-free run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warps` is empty.
+    pub fn run_with_faults(
+        &self,
+        warps: &[Trace],
+        prefetcher: &mut dyn Prefetcher,
+        injector: &mut FaultInjector,
+    ) -> UvmReport {
         assert!(!warps.is_empty(), "no warps");
         let combined_footprint: usize = {
             let mut pages = std::collections::HashSet::new();
@@ -138,9 +182,27 @@ impl UvmSim {
             max_batch: 0,
             prefetches_issued: 0,
             prefetches_useful: 0,
+            prefetches_cancelled: 0,
+            retries: 0,
+            timeouts: 0,
+            restarts: 0,
             total_ticks: 0,
         };
         loop {
+            // Device reset: the GPU is a single failure domain, so any
+            // crash event flushes memory, cancels all in-flight
+            // prefetches, and drops the driver model's transient
+            // state; the device stays down until the event ends.
+            if let Some(restart) = injector.take_crash_any(now) {
+                report.restarts += 1;
+                report.prefetches_cancelled += inflight.len();
+                for (page, _) in inflight.drain(..) {
+                    prefetcher.on_feedback(&PrefetchFeedback::Cancelled { page });
+                }
+                memory.flush();
+                prefetcher.on_fault(now);
+                now = now.max(restart);
+            }
             // Land arrived prefetches.
             inflight.sort_unstable();
             let mut rest = Vec::new();
@@ -196,8 +258,40 @@ impl UvmSim {
             report.fault_batches += 1;
             report.faults += batch_pages.len();
             report.max_batch = report.max_batch.max(batch_pages.len());
-            let service =
+            let base_service =
                 self.cfg.fault_latency + self.cfg.per_page_latency * (batch_pages.len() as u64 - 1);
+            // A lossy interconnect can drop the whole batch migration:
+            // each drop costs the wasted (shaped) round trip plus a
+            // capped exponential backoff; exhausted retries time out
+            // and the recovery path completes the batch with a flat
+            // penalty so warps always make progress.
+            let mut service = 0u64;
+            let mut attempt = 0u32;
+            loop {
+                if !injector.transfer_dropped(now + service) {
+                    service += injector.transfer_latency(now + service, base_service);
+                    break;
+                }
+                service += injector.transfer_latency(now + service, base_service);
+                if attempt >= self.cfg.max_retries {
+                    report.timeouts += 1;
+                    service += self.cfg.timeout_penalty;
+                    // The recovery path tears down and re-establishes
+                    // the interconnect: every outstanding prefetch
+                    // migration dies with it. The cancellations are
+                    // the model's only signal — a transport-level
+                    // reset stays below its horizon.
+                    report.prefetches_cancelled += inflight.len();
+                    for (pg, _) in inflight.drain(..) {
+                        prefetcher.on_feedback(&PrefetchFeedback::Cancelled { page: pg });
+                    }
+                    break;
+                }
+                report.retries += 1;
+                service +=
+                    (self.cfg.retry_backoff << attempt.min(16)).min(self.cfg.retry_backoff_cap);
+                attempt += 1;
+            }
             // Driver-side prefetching: consult the model per faulting
             // page (interleaved streams), issue concurrently with the
             // migration.
@@ -225,6 +319,14 @@ impl UvmSim {
                     }
                     if inflight.len() >= self.cfg.max_inflight {
                         break;
+                    }
+                    // Lossy interconnects silently eat prefetches; the
+                    // model learns of the cancellation so it can back
+                    // off (hnp_memsim::resilient reacts to these).
+                    if injector.transfer_dropped(now) {
+                        report.prefetches_cancelled += 1;
+                        prefetcher.on_feedback(&PrefetchFeedback::Cancelled { page: cand });
+                        continue;
                     }
                     inflight.push((cand, arrival));
                     report.prefetches_issued += 1;

@@ -1,0 +1,181 @@
+//! Property tests for the fault-injection layer.
+//!
+//! Two invariants anchor the whole design:
+//!
+//! 1. **Determinism** — a `FaultInjector` is a pure function of
+//!    (schedule, seed, query sequence). Two injectors built the same
+//!    way answer every query identically, so any faulted run can be
+//!    replayed bit-for-bit.
+//! 2. **No-fault regression** — with an empty `FaultSchedule` the
+//!    `*_with_faults` entry points are bit-identical to the plain
+//!    runs, regardless of the injector's seed. Fault support must be
+//!    free when faults are off.
+
+use proptest::prelude::*;
+
+use hnp_baselines::StridePrefetcher;
+use hnp_core::{ClsConfig, ClsPrefetcher};
+use hnp_memsim::{Prefetcher, ResilientPrefetcher};
+use hnp_systems::{
+    DisaggConfig, DisaggregatedCluster, FaultInjector, FaultSchedule, UvmConfig, UvmSim,
+};
+use hnp_trace::apps::AppWorkload;
+use hnp_trace::Trace;
+
+/// A schedule exercising every fault kind, parameterised so cases
+/// cover disjoint, nested, and overlapping windows.
+fn schedule(
+    spike: (u64, u64, u64, u64),
+    lossy: (u64, u64, f64),
+    brownout: (u64, u64, usize),
+    slow: (u64, u64, f64),
+) -> FaultSchedule {
+    FaultSchedule::none()
+        .with_latency_spike(spike.0, spike.1, spike.2, spike.3)
+        .with_lossy_link(lossy.0, lossy.1, lossy.2)
+        .with_brownout(brownout.0, brownout.1, brownout.2)
+        .with_slowdown(slow.0, slow.1, slow.2)
+}
+
+fn traces(accesses: usize) -> Vec<Trace> {
+    vec![
+        AppWorkload::PageRankLike.generate(accesses, 31),
+        AppWorkload::McfLike.generate(accesses, 32),
+    ]
+}
+
+fn prefetchers(n: usize, resilient: bool) -> Vec<Box<dyn Prefetcher>> {
+    (0..n)
+        .map(|i| {
+            let inner: Box<dyn Prefetcher> = Box::new(ClsPrefetcher::new(ClsConfig {
+                seed: 0xd15a + i as u64,
+                ..ClsConfig::default()
+            }));
+            if resilient {
+                Box::new(ResilientPrefetcher::new(inner)) as Box<dyn Prefetcher>
+            } else {
+                inner
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same schedule + same seed => every query answers identically,
+    /// across an interleaved mix of all query kinds.
+    #[test]
+    fn injector_is_deterministic(
+        seed in 0u64..1_000_000,
+        spike in (0u64..500, 1u64..500, 0u64..200, 0u64..50),
+        lossy in (0u64..500, 1u64..500, 0.0f64..1.0),
+        brownout in (0u64..500, 1u64..500, 1usize..8),
+        slow in (0u64..500, 1u64..500, 1.0f64..3.0),
+        queries in proptest::collection::vec((0u64..1200, 1u64..300), 1..200),
+    ) {
+        let sched = schedule(spike, lossy, brownout, slow);
+        let mut a = FaultInjector::new(sched.clone(), seed);
+        let mut b = FaultInjector::new(sched, seed);
+        for (tick, base) in &queries {
+            prop_assert_eq!(
+                a.transfer_latency(*tick, *base),
+                b.transfer_latency(*tick, *base)
+            );
+            prop_assert_eq!(a.transfer_dropped(*tick), b.transfer_dropped(*tick));
+            prop_assert_eq!(a.in_brownout(*tick), b.in_brownout(*tick));
+            prop_assert_eq!(
+                a.effective_slots(*tick, *base as usize),
+                b.effective_slots(*tick, *base as usize)
+            );
+        }
+        prop_assert_eq!(a.stats.transfers_dropped, b.stats.transfers_dropped);
+    }
+
+    /// An empty schedule is inert: base latency passes through
+    /// untouched, nothing drops, no brownout, whatever the seed.
+    #[test]
+    fn empty_schedule_is_inert(
+        seed in 0u64..1_000_000,
+        queries in proptest::collection::vec((0u64..5000, 1u64..300), 1..100),
+    ) {
+        let mut inj = FaultInjector::new(FaultSchedule::none(), seed);
+        prop_assert!(inj.is_idle());
+        for (tick, base) in &queries {
+            prop_assert_eq!(inj.transfer_latency(*tick, *base), *base);
+            prop_assert!(!inj.transfer_dropped(*tick));
+            prop_assert!(!inj.in_brownout(*tick));
+            prop_assert_eq!(inj.effective_slots(*tick, 4), 4);
+        }
+        prop_assert_eq!(inj.stats.transfers_dropped, 0);
+    }
+
+    /// With an empty schedule `run_decentralized_with_faults` is
+    /// bit-identical to `run_decentralized`, for any injector seed and
+    /// with or without the resilient wrapper.
+    #[test]
+    fn no_fault_regression_disagg(
+        inj_seed in 0u64..1_000_000,
+        accesses in 200usize..500,
+        resilient in any::<bool>(),
+    ) {
+        let traces = traces(accesses);
+        let cluster = DisaggregatedCluster::new(DisaggConfig {
+            local_capacity_frac: 0.4,
+            ..DisaggConfig::default()
+        });
+        let mut plain_pfs = prefetchers(traces.len(), resilient);
+        let plain = cluster.run_decentralized(&traces, &mut plain_pfs);
+        let mut faulted_pfs = prefetchers(traces.len(), resilient);
+        let mut inj = FaultInjector::new(FaultSchedule::none(), inj_seed);
+        let faulted =
+            cluster.run_decentralized_with_faults(&traces, &mut faulted_pfs, &mut inj);
+        prop_assert_eq!(plain, faulted);
+    }
+
+    /// Same invariant for the UVM target (centralized prefetcher).
+    #[test]
+    fn no_fault_regression_uvm(
+        inj_seed in 0u64..1_000_000,
+        accesses in 200usize..500,
+        resilient in any::<bool>(),
+    ) {
+        let warps: Vec<Trace> = (0..2u64)
+            .map(|i| AppWorkload::FIG5[i as usize].generate(accesses, 60 + i).with_stream(i as u16))
+            .collect();
+        let sim = UvmSim::new(UvmConfig::default());
+        let mut a: Box<dyn Prefetcher> = Box::new(StridePrefetcher::new(2, 2));
+        let mut b: Box<dyn Prefetcher> = Box::new(StridePrefetcher::new(2, 2));
+        if resilient {
+            a = Box::new(ResilientPrefetcher::new(a));
+            b = Box::new(ResilientPrefetcher::new(b));
+        }
+        let plain = sim.run(&warps, a.as_mut());
+        let mut inj = FaultInjector::new(FaultSchedule::none(), inj_seed);
+        let faulted = sim.run_with_faults(&warps, b.as_mut(), &mut inj);
+        prop_assert_eq!(plain, faulted);
+    }
+
+    /// End-to-end determinism: the same faulted run twice yields the
+    /// same report (the injector is the only randomness source beyond
+    /// the seeded prefetchers).
+    #[test]
+    fn faulted_run_is_reproducible(
+        inj_seed in 0u64..1_000_000,
+        accesses in 200usize..400,
+        drop_prob in 0.1f64..0.9,
+    ) {
+        let traces = traces(accesses);
+        let cluster = DisaggregatedCluster::new(DisaggConfig::default());
+        let sched = FaultSchedule::none()
+            .with_lossy_link(10, 4000, drop_prob)
+            .with_brownout(500, 2000, 2)
+            .with_crash(1000, 200, 1);
+        let run = |sched: &FaultSchedule| {
+            let mut pfs = prefetchers(traces.len(), true);
+            let mut inj = FaultInjector::new(sched.clone(), inj_seed);
+            cluster.run_decentralized_with_faults(&traces, &mut pfs, &mut inj)
+        };
+        prop_assert_eq!(run(&sched), run(&sched));
+    }
+}

@@ -249,7 +249,7 @@ fn serverless_like(n: usize, seed: u64) -> Trace {
         let f = popularity.sample(&mut rng);
         let base = 0xA0_0000_0000u64 + (f as u64) * 0x1000_0000;
         let burst = 64 + rng.gen_range(0..448usize);
-        if f % 2 == 0 {
+        if f.is_multiple_of(2) {
             // Strided scan function.
             for i in 0..burst {
                 out.push(base + ((i % 96) as u64) * PAGE);

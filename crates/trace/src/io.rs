@@ -100,7 +100,11 @@ pub struct TraceJson {
 pub fn to_json(trace: &Trace) -> serde_json::Result<String> {
     serde_json::to_string(&TraceJson {
         page_shift: trace.page_shift(),
-        accesses: trace.accesses().iter().map(|a| (a.addr, a.stream)).collect(),
+        accesses: trace
+            .accesses()
+            .iter()
+            .map(|a| (a.addr, a.stream))
+            .collect(),
     })
 }
 

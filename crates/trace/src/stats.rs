@@ -139,7 +139,9 @@ mod tests {
     #[test]
     fn reuse_distance_of_tight_loop_is_small() {
         // [A B A B ...] has reuse distance 1 everywhere.
-        let addrs: Vec<u64> = (0..100).map(|i| if i % 2 == 0 { 0x1000 } else { 0x2000 }).collect();
+        let addrs: Vec<u64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0x1000 } else { 0x2000 })
+            .collect();
         let d = TraceStats::mean_reuse_distance(&Trace::from_addrs(addrs)).unwrap();
         assert!((d - 1.0).abs() < 1e-9);
     }

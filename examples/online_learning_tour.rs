@@ -11,7 +11,7 @@ use hnp::core::{
     CapacityPolicy, ClsConfig, ClsPrefetcher, EpisodicBackend, ReplayConfig, ReplayForm,
     TrainingSampler,
 };
-use hnp::memsim::{NoPrefetcher, SimConfig, Simulator, SimReport};
+use hnp::memsim::{NoPrefetcher, SimConfig, SimReport, Simulator};
 use hnp::traces::apps::AppWorkload;
 use hnp::traces::Trace;
 

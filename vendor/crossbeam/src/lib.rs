@@ -1,0 +1,26 @@
+//! Offline stub of `crossbeam`. The workspace declares the dependency
+//! but currently only needs scoped threads, which `std::thread::scope`
+//! provides; `crossbeam::scope` forwards to it.
+
+/// Runs `f` with a scope in which borrowed threads can be spawned,
+/// mirroring `crossbeam::scope`'s shape via `std::thread::scope`.
+pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+{
+    Ok(std::thread::scope(f))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_spawns_and_joins() {
+        let mut total = 0;
+        super::scope(|s| {
+            let h = s.spawn(|| 21);
+            total = h.join().expect("join") + 21;
+        })
+        .expect("scope");
+        assert_eq!(total, 42);
+    }
+}

@@ -1,0 +1,163 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored serde stub.
+//!
+//! Uses only the built-in `proc_macro` API (no `syn`/`quote`, which
+//! are unavailable offline). Supports the shapes this repo actually
+//! derives: non-generic structs with named fields. Anything else
+//! produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid error tokens")
+}
+
+/// Parses `struct Name { fields... }` out of a derive input stream,
+/// skipping attributes, doc comments, and visibility modifiers.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut trees = input.into_iter().peekable();
+    // Find the `struct` keyword at top level.
+    loop {
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute (incl. doc comments): `#` or `#!` + group.
+                match trees.peek() {
+                    Some(TokenTree::Punct(b)) if b.as_char() == '!' => {
+                        trees.next();
+                    }
+                    _ => {}
+                }
+                trees.next(); // The bracketed attribute body.
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("serde stub derives support structs only, not enums".into());
+            }
+            Some(_) => {}
+            None => return Err("no `struct` found in derive input".into()),
+        }
+    }
+    let name = match trees.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, got {other:?}")),
+    };
+    let body = match trees.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("serde stub derives do not support generics on `{name}`"));
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!("serde stub derives do not support tuple struct `{name}`"));
+        }
+        other => return Err(format!("expected struct body for `{name}`, got {other:?}")),
+    };
+
+    let mut fields = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    'fields: loop {
+        // Skip per-field attributes and visibility.
+        let field_name = loop {
+            match trees.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    trees.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = trees.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            trees.next(); // `pub(crate)` etc.
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token in fields: {other}")),
+                None => break 'fields,
+            }
+        };
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{field_name}`, got {other:?}")),
+        }
+        fields.push(field_name);
+        // Skip the type: everything up to a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        loop {
+            match trees.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break 'fields,
+            }
+        }
+    }
+    Ok(StructShape { name, fields })
+}
+
+/// Derives `serde::Serialize` (the stub's `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let pushes: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the stub's `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let inits: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\n\
+                     v.get_field({f:?})\n\
+                         .ok_or_else(|| ::serde::DeError::missing({f:?}))?,\n\
+                 )?,\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value)\n\
+                 -> ::std::result::Result<Self, ::serde::DeError>\n\
+             {{\n\
+                 ::std::result::Result::Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
