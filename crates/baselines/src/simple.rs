@@ -91,7 +91,8 @@ impl Prefetcher for StridePrefetcher {
                 self.last_delta = Some(delta);
             }
             if self.confidence >= self.threshold {
-                let d = self.last_delta.expect("delta tracked");
+                // Both branches above leave `last_delta == Some(delta)`.
+                let d = delta;
                 let mut p = miss.page as i64;
                 for _ in 0..self.degree {
                     p += d;

@@ -14,7 +14,7 @@ use serde::Serialize;
 
 use hnp_bench::output;
 use hnp_core::availability::{AvailabilityConfig, ShadowDeployment};
-use hnp_hebbian::{HebbianConfig, HebbianNetwork};
+use hnp_hebbian::{HebbianConfig, HebbianNetwork, LrScale};
 use hnp_memsim::DeltaVocab;
 use hnp_trace::Pattern;
 
@@ -92,7 +92,7 @@ fn main() {
         for k in 0..(mag as usize * 20) {
             let x = phase_b[k % (phase_b.len() - 1)];
             let y = phase_b[(k + 1) % phase_b.len()];
-            noisy.train_step_opts(&[x as u32], y, 1.0, false);
+            noisy.train_step_opts(&[x as u32], y, LrScale::ONE, false);
         }
         let mut agree = 0usize;
         let mut total = 0usize;

@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
-use hnp_hebbian::{HebbianConfig, HebbianNetwork};
+use hnp_hebbian::{HebbianConfig, HebbianNetwork, LrScale};
 use hnp_memsim::DeltaVocab;
 use hnp_nn::loss::SoftmaxLoss;
 use hnp_nn::transformer::{TransformerConfig, TransformerNetwork};
@@ -355,7 +355,12 @@ pub fn run_hebbian(old: Pattern, new: Pattern, replay: bool, opts: &Fig3Options)
             let (ex, erec, ey) = episodes[rng.gen_range(0..episodes.len())].clone();
             let saved = net.recurrent_state().to_vec();
             net.set_recurrent_state(&erec);
-            net.train_step_opts(&[ex as u32], ey, opts.replay_lr_scale, false);
+            net.train_step_opts(
+                &[ex as u32],
+                ey,
+                LrScale::from_f32(opts.replay_lr_scale),
+                false,
+            );
             net.set_recurrent_state(&saved);
         }
         if step % opts.sample_every == 0 || step + 1 == opts.steps_b {

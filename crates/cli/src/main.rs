@@ -8,6 +8,7 @@
 //! hnpctl patterns   [--accesses 1000]
 //! hnpctl faults     --workload pagerank --schedule lossy:5000:40000:0.5 \
 //!                   [--target disagg|uvm] [--resilient true]
+//! hnpctl lint       [--root DIR] [--json FILE] [--quiet true]
 //! ```
 //!
 //! Workloads: `tensorflow`, `pagerank`, `mcf`, `graph500`, `kv-store`,
@@ -27,6 +28,7 @@ use hnp_baselines::{
     TransformerPrefetcher, TransformerPrefetcherConfig,
 };
 use hnp_core::{ClsConfig, ClsPrefetcher};
+use hnp_lint as lint;
 use hnp_memsim::{NoPrefetcher, Prefetcher, ResilientPrefetcher, SimConfig, Simulator};
 use hnp_systems::{
     DisaggConfig, DisaggregatedCluster, FaultInjector, FaultSchedule, UvmConfig, UvmSim,
@@ -36,7 +38,7 @@ use hnp_trace::stats::TraceStats;
 use hnp_trace::{io, Pattern, Trace};
 
 const USAGE: &str =
-    "usage: hnpctl <trace-gen|trace-stats|sim|compare|patterns|faults> [--key value ...]
+    "usage: hnpctl <trace-gen|trace-stats|sim|compare|patterns|faults|lint> [--key value ...]
   trace-gen   --workload NAME --accesses N [--seed S] --out FILE
   trace-stats --trace FILE
   sim         --trace FILE --prefetcher NAME [--capacity-frac F] [--seed S] [--json true]
@@ -46,7 +48,8 @@ const USAGE: &str =
               [--prefetcher NAME] [--resilient true] [--schedule DSL]
               [--seed S] [--fault-seed S] [--json true]
               (DSL: comma-separated spike:S:D:EXTRA[:JIT] lossy:S:D:P
-               brownout:S:D:SLOTS slow:S:D:F crash:S:D:NODE)";
+               brownout:S:D:SLOTS slow:S:D:F crash:S:D:NODE)
+  lint        [--root DIR] [--json FILE] [--quiet true]";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -63,6 +66,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&args),
         "patterns" => cmd_patterns(&args),
         "faults" => cmd_faults(&args),
+        "lint" => cmd_lint(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     };
     match result {
@@ -343,6 +347,34 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
             );
         }
         other => return Err(format!("unknown target {other:?}")),
+    }
+    Ok(())
+}
+
+/// Runs the hnp-lint workspace invariant checker (HNP01-HNP04) and
+/// fails if any unsuppressed finding remains.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let root = match args.get("root", "") {
+        "" => {
+            lint::find_root(&std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?)
+                .ok_or("no workspace root found; pass --root")?
+        }
+        dir => std::path::PathBuf::from(dir),
+    };
+    let report = lint::check_workspace(&root).map_err(|e| format!("lint failed: {e}"))?;
+    let json_out = args.get("json", "");
+    if !json_out.is_empty() {
+        std::fs::write(json_out, lint::report::json(&report))
+            .map_err(|e| format!("cannot write {json_out}: {e}"))?;
+    }
+    if args.get("quiet", "false") != "true" {
+        print!("{}", lint::report::human(&report));
+    }
+    if report.unsuppressed_count() > 0 {
+        return Err(format!(
+            "{} unsuppressed finding(s)",
+            report.unsuppressed_count()
+        ));
     }
     Ok(())
 }

@@ -1,0 +1,43 @@
+//! Double-run determinism regression: the full simulator stack must
+//! produce byte-identical serialized reports across two runs in the
+//! same process. This is the behavioral counterpart of hnp-lint's
+//! HNP01 rule — with hash-ordered maps in simulator state, these runs
+//! diverge whenever iteration order leaks into eviction or prefetch
+//! order (the per-process SipHash keys differ only *across*
+//! processes, but the CI matrix plus this in-process check together
+//! pin both directions).
+
+use hnp_baselines::StridePrefetcher;
+use hnp_core::{ClsConfig, ClsPrefetcher};
+use hnp_memsim::{Prefetcher, ResilientPrefetcher, SimConfig, Simulator};
+use hnp_trace::apps::AppWorkload;
+use hnp_trace::Trace;
+
+fn run_once(trace: &Trace, mut prefetcher: Box<dyn Prefetcher>) -> String {
+    let sim = Simulator::new(SimConfig {
+        capacity_pages: 64,
+        ..SimConfig::default()
+    });
+    let report = sim.run(trace, prefetcher.as_mut());
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+fn assert_double_run_identical(make: impl Fn() -> Box<dyn Prefetcher>) {
+    let trace = AppWorkload::PageRankLike.generate(20_000, 7);
+    let first = run_once(&trace, make());
+    let second = run_once(&trace, make());
+    assert_eq!(
+        first, second,
+        "two identically-configured runs must serialize identically"
+    );
+}
+
+#[test]
+fn cls_hebbian_double_run_is_bit_identical() {
+    assert_double_run_identical(|| Box::new(ClsPrefetcher::new(ClsConfig::default())));
+}
+
+#[test]
+fn resilient_stride_double_run_is_bit_identical() {
+    assert_double_run_identical(|| Box::new(ResilientPrefetcher::new(StridePrefetcher::new(2, 4))));
+}

@@ -136,7 +136,7 @@ pub struct ClsPrefetcher {
     adaptive: Option<AdaptiveGeometry>,
     /// Per-stream miss-history contexts (all streams share key 0 when
     /// stream isolation is off).
-    streams: std::collections::HashMap<u16, StreamCtx>,
+    streams: std::collections::BTreeMap<u16, StreamCtx>,
     batch_queue: Vec<(Vec<usize>, Vec<u32>, usize)>,
     steps: u64,
     name: String,
@@ -192,7 +192,7 @@ impl ClsPrefetcher {
                 .adaptive
                 .clone()
                 .map(|a| AdaptiveGeometry::new(a, cfg.width, cfg.lookahead)),
-            streams: std::collections::HashMap::new(),
+            streams: std::collections::BTreeMap::new(),
             batch_queue: Vec::new(),
             steps: 0,
             encoder,

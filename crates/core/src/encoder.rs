@@ -183,11 +183,12 @@ impl Encoder {
                 })
                 .collect(),
             EncoderKind::Vsa { .. } => {
-                return self
-                    .vsa
-                    .as_ref()
-                    .expect("vsa table built at construction")
-                    .encode(history);
+                // The table is built in `new()` whenever the kind is
+                // Vsa; the Option only models the other kinds.
+                let table = self.vsa.as_ref();
+                // hnp-lint: allow(panic_hygiene): constructor invariant
+                let table = table.expect("vsa built in new()");
+                return table.encode(history);
             }
         };
         bits.sort_unstable();

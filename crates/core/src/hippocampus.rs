@@ -174,9 +174,10 @@ impl Hippocampus {
             CapacityPolicy::Unbounded => self.episodes.push(episode),
             CapacityPolicy::Ring { capacity } => {
                 if self.episodes.len() >= capacity {
-                    // Evict the oldest.
-                    let oldest = self.oldest_index().expect("non-empty when at capacity");
-                    self.episodes.swap_remove(oldest);
+                    // Evict the oldest (None only for capacity 0).
+                    if let Some(oldest) = self.oldest_index() {
+                        self.episodes.swap_remove(oldest);
+                    }
                 }
                 self.episodes.push(episode);
             }
@@ -193,14 +194,11 @@ impl Hippocampus {
                         .episodes
                         .iter()
                         .enumerate()
-                        .max_by(|a, b| {
-                            a.1.confidence
-                                .partial_cmp(&b.1.confidence)
-                                .expect("finite confidence")
-                        })
-                        .map(|(i, _)| i)
-                        .expect("non-empty when at capacity");
-                    self.episodes.swap_remove(worst);
+                        .max_by(|a, b| a.1.confidence.total_cmp(&b.1.confidence))
+                        .map(|(i, _)| i);
+                    if let Some(worst) = worst {
+                        self.episodes.swap_remove(worst);
+                    }
                 }
                 self.episodes.push(episode);
             }
@@ -211,9 +209,10 @@ impl Hippocampus {
                         .iter()
                         .enumerate()
                         .max_by_key(|(_, e)| e.replays)
-                        .map(|(i, _)| i)
-                        .expect("non-empty when at capacity");
-                    self.episodes.swap_remove(most_replayed);
+                        .map(|(i, _)| i);
+                    if let Some(most_replayed) = most_replayed {
+                        self.episodes.swap_remove(most_replayed);
+                    }
                 }
                 self.episodes.push(episode);
             }
@@ -236,9 +235,10 @@ impl Hippocampus {
                         .iter()
                         .enumerate()
                         .min_by_key(|(_, e)| e.weight)
-                        .map(|(i, _)| i)
-                        .expect("non-empty when at capacity");
-                    self.episodes.swap_remove(lightest);
+                        .map(|(i, _)| i);
+                    if let Some(lightest) = lightest {
+                        self.episodes.swap_remove(lightest);
+                    }
                 }
                 self.episodes.push(episode);
             }

@@ -5,7 +5,7 @@
 //! access pattern". Here it is the sparse Hebbian network of
 //! `hnp-hebbian`, sized from the input encoder and delta vocabulary.
 
-use hnp_hebbian::{HebbianConfig, HebbianNetwork, HebbianOutcome};
+use hnp_hebbian::{HebbianConfig, HebbianNetwork, HebbianOutcome, LrScale};
 
 use crate::encoder::Encoder;
 
@@ -100,7 +100,12 @@ impl Neocortex {
     /// replay path. Anti-Hebbian depression is disabled: replay
     /// reinforces stored associations without punishing the network's
     /// current (new-pattern) predictions.
-    pub fn train_scaled(&mut self, pattern: &[u32], target: usize, scale: f32) -> HebbianOutcome {
+    pub fn train_scaled(
+        &mut self,
+        pattern: &[u32],
+        target: usize,
+        scale: LrScale,
+    ) -> HebbianOutcome {
         self.net.train_step_opts(pattern, target, scale, false)
     }
 
@@ -114,7 +119,7 @@ impl Neocortex {
         &mut self,
         pattern: &[u32],
         target: usize,
-        scale: f32,
+        scale: LrScale,
         recurrent: &[u32],
     ) -> HebbianOutcome {
         let saved = self.net.recurrent_state().to_vec();

@@ -107,7 +107,7 @@ impl PhaseDetector {
             .iter()
             .enumerate()
             .map(|(i, (_, c))| (i, cosine(&hist, c)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite similarity"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .unzip();
         let old = self.current_phase;
         if let (Some(i), Some(sim)) = (best, best_sim) {

@@ -18,6 +18,7 @@
 //!   forward pass, and train on the network's own output "to reinforce
 //!   existing behavior".
 
+use hnp_hebbian::LrScale;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -123,6 +124,7 @@ impl ReplayScheduler {
             prefer_other,
             &mut self.rng,
         );
+        let scale = LrScale::from_f32(self.cfg.lr_scale);
         let mut done = 0usize;
         for episode in episodes {
             match self.cfg.form {
@@ -130,7 +132,7 @@ impl ReplayScheduler {
                     cortex.replay_train(
                         &episode.pattern,
                         episode.target,
-                        self.cfg.lr_scale,
+                        scale,
                         &episode.recurrent,
                     );
                     done += 1;
@@ -144,14 +146,14 @@ impl ReplayScheduler {
                     let preds = cortex.predict(&episode.history, encoder, rollout_len, 1);
                     let mut hist = episode.history.clone();
                     // First transition: the episode's real target.
-                    cortex.train_scaled(&episode.pattern, episode.target, self.cfg.lr_scale);
+                    cortex.train_scaled(&episode.pattern, episode.target, scale);
                     done += 1;
                     for step in preds {
                         let next = step[0];
                         hist.push(next);
                         let ctx = &hist[..hist.len() - 1];
                         let pattern = encoder.encode(ctx);
-                        cortex.train_scaled(&pattern, next, self.cfg.lr_scale);
+                        cortex.train_scaled(&pattern, next, scale);
                         done += 1;
                     }
                     cortex.network_mut().set_recurrent_state(&saved);
@@ -162,7 +164,7 @@ impl ReplayScheduler {
                     cortex.replay_train(
                         &episode.pattern,
                         episode.target,
-                        self.cfg.lr_scale,
+                        scale,
                         &episode.recurrent,
                     );
                     done += 1;
@@ -174,7 +176,7 @@ impl ReplayScheduler {
                         let net = cortex.network_mut();
                         net.infer(&episode.pattern, episode.target)
                     };
-                    cortex.train_scaled(&episode.pattern, out.predicted, self.cfg.lr_scale);
+                    cortex.train_scaled(&episode.pattern, out.predicted, scale);
                     cortex.network_mut().set_recurrent_state(&saved);
                     done += 1;
                 }

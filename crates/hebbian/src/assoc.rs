@@ -175,8 +175,10 @@ impl WillshawMemory {
 
     /// Fraction of set weight bits (saturation). Willshaw capacity
     /// analysis says recall degrades as this approaches 0.5.
+    // hnp-lint: allow(integer_purity): diagnostic capacity readout
     pub fn saturation(&self) -> f64 {
         let set: usize = self.weights.iter().map(|r| r.count()).sum();
+        // hnp-lint: allow(integer_purity): diagnostic capacity readout
         set as f64 / (self.key_bits * self.value_bits) as f64
     }
 }

@@ -10,6 +10,8 @@
 //! * [`network`] — the prefetching Hebbian network: one hidden layer of
 //!   1000 neurons, 12.5 % connectivity, 10 % hidden activity, and a
 //!   recurrent state for sequence memory;
+//! * [`lr`] — Q24 fixed-point learning-rate scales, keeping scaled
+//!   (replay) updates on the integer path;
 //! * [`assoc`] — pattern separation and Willshaw-style associative
 //!   memories modelling the hippocampal fast store.
 //!
@@ -22,7 +24,9 @@
 pub mod assoc;
 pub mod bitset;
 pub mod kwta;
+pub mod lr;
 pub mod network;
 pub mod sparse;
 
+pub use lr::LrScale;
 pub use network::{HebbianConfig, HebbianNetwork, HebbianOutcome, HiddenLearning};

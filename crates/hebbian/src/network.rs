@@ -10,7 +10,9 @@
 //! also uses a recurrent state to capture sequence memory".
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::lr::LrScale;
 
 use crate::bitset::BitSet;
 use crate::kwta::k_winners;
@@ -64,6 +66,7 @@ pub struct HebbianConfig {
     pub outputs: usize,
     /// Fraction of present connections between adjacent layers (the
     /// paper uses 12.5 %).
+    // hnp-lint: allow(integer_purity): construction-time geometry, not the update path
     pub connectivity: f64,
     /// Number of hidden winners per step (the paper activates 10 %).
     pub hidden_active: usize,
@@ -108,6 +111,7 @@ impl HebbianConfig {
             recurrent_bits: 128,
             hidden: 1000,
             outputs: 136,
+            // hnp-lint: allow(integer_purity): construction-time geometry
             connectivity: 0.125,
             hidden_active: 100,
             recurrent_sample: 16,
@@ -134,6 +138,7 @@ impl HebbianConfig {
             recurrent_bits: 32,
             hidden: 128,
             outputs: 16,
+            // hnp-lint: allow(integer_purity): construction-time geometry
             connectivity: 0.375,
             hidden_active: 16,
             recurrent_sample: 6,
@@ -157,6 +162,7 @@ pub struct HebbianOutcome {
     /// Normalized score of a probed class (the training target, when
     /// training): `max(score, 0) / sum(max(scores, 0))`. Comparable to
     /// the LSTM's softmax confidence in Fig. 3.
+    // hnp-lint: allow(integer_purity): diagnostic output, outside the update path
     pub confidence: f32,
     /// Whether `predicted` equals the probed class.
     pub correct: bool,
@@ -332,12 +338,16 @@ impl HebbianNetwork {
         (winners, ops)
     }
 
-    /// Normalized non-negative score share of `class`.
+    /// Normalized non-negative score share of `class`. The division
+    /// is diagnostic (Fig.-3 comparability); scores stay integer.
+    // hnp-lint: allow(integer_purity): diagnostic confidence readout
     fn confidence_of(&self, class: usize) -> f32 {
         let pos_sum: i64 = self.out_scores.iter().map(|&s| s.max(0) as i64).sum();
         if pos_sum == 0 {
+            // hnp-lint: allow(integer_purity): diagnostic confidence readout
             1.0 / self.cfg.outputs as f32
         } else {
+            // hnp-lint: allow(integer_purity): diagnostic confidence readout
             self.out_scores[class].max(0) as f32 / pos_sum as f32
         }
     }
@@ -424,7 +434,7 @@ impl HebbianNetwork {
 
     /// One online training step with the base integer step size.
     pub fn train_step(&mut self, pattern: &[u32], target: usize) -> HebbianOutcome {
-        self.train_step_scaled(pattern, target, 1.0)
+        self.train_step_scaled(pattern, target, LrScale::ONE)
     }
 
     /// One online training step with a scaled learning rate.
@@ -433,16 +443,17 @@ impl HebbianNetwork {
     /// applies the update stochastically with probability `scale`
     /// (expected update equals the scaled rate — the paper's 0.1x
     /// replay rate becomes a 10 % update probability). `scale >= 1`
-    /// multiplies the integer step.
+    /// multiplies the integer step. The scale is Q24 fixed point, so
+    /// the whole training path stays integer.
     ///
     /// # Panics
     ///
-    /// Panics if `target` is out of range or `scale` is negative.
+    /// Panics if `target` is out of range.
     pub fn train_step_scaled(
         &mut self,
         pattern: &[u32],
         target: usize,
-        scale: f32,
+        scale: LrScale,
     ) -> HebbianOutcome {
         self.train_step_opts(pattern, target, scale, self.cfg.anti_hebbian)
     }
@@ -455,31 +466,32 @@ impl HebbianNetwork {
     ///
     /// # Panics
     ///
-    /// Panics if `target` is out of range or `scale` is negative.
+    /// Panics if `target` is out of range.
     pub fn train_step_opts(
         &mut self,
         pattern: &[u32],
         target: usize,
-        scale: f32,
+        scale: LrScale,
         anti_hebbian: bool,
     ) -> HebbianOutcome {
         assert!(target < self.cfg.outputs, "target out of range");
-        assert!(scale >= 0.0, "negative learning-rate scale");
         let active = self.active_inputs(pattern);
         let (winners, mut ops) = self.forward(&active);
         let predicted = self.argmax_out();
         let outcome_conf = self.confidence_of(target);
 
-        let apply = if scale >= 1.0 {
+        let apply = if scale.at_least_one() {
             true
         } else {
-            self.rng.gen::<f32>() < scale
+            // Integer Bernoulli draw: the top 24 bits of `next_u32`
+            // are uniform in [0, 2^24), exactly the Q24 grid.
+            (self.rng.next_u32() >> 8) < scale.raw()
         };
         if apply {
-            let (step, ltd) = if scale >= 1.0 {
+            let (step, ltd) = if scale.at_least_one() {
                 (
-                    (self.cfg.step as f32 * scale).round() as i16,
-                    (self.cfg.ltd_step as f32 * scale).round() as i16,
+                    scale.scale_step(self.cfg.step),
+                    scale.scale_step(self.cfg.ltd_step),
                 )
             } else {
                 (self.cfg.step, self.cfg.ltd_step)
@@ -577,11 +589,13 @@ impl HebbianNetwork {
         steps: usize,
         width: usize,
         mut encode: impl FnMut(usize) -> Vec<u32>,
+        // hnp-lint: allow(integer_purity): diagnostic confidence readout
     ) -> (Vec<Vec<usize>>, f32) {
         assert!(width > 0, "width must be positive");
         let saved = self.recurrent.clone();
         let mut preds = Vec::with_capacity(steps);
         let mut current: Vec<u32> = pattern.to_vec();
+        // hnp-lint: allow(integer_purity): diagnostic confidence readout
         let mut first_conf = 0.0;
         for step in 0..steps {
             let active = self.active_inputs(&current);
@@ -702,7 +716,7 @@ mod tests {
         net.reset_state();
         let before = net.infer(&oh(4), 4).confidence;
         for _ in 0..50 {
-            net.train_step_scaled(&oh(9), 9, 0.0);
+            net.train_step_scaled(&oh(9), 9, LrScale::ZERO);
         }
         net.reset_state();
         let after = net.infer(&oh(4), 4).confidence;

@@ -48,6 +48,7 @@ impl SparseLayer {
     pub fn new(
         inputs: usize,
         outputs: usize,
+        // hnp-lint: allow(integer_purity): construction-time geometry
         connectivity: f64,
         clamp: i16,
         init_mag: i16,
@@ -55,11 +56,13 @@ impl SparseLayer {
     ) -> Self {
         assert!(inputs > 0 && outputs > 0, "zero-sized layer");
         assert!(
+            // hnp-lint: allow(integer_purity): construction-time geometry
             connectivity > 0.0 && connectivity <= 1.0,
             "connectivity must be in (0, 1]"
         );
         assert!(clamp > 0, "clamp must be positive");
         assert!(init_mag >= 0, "init_mag must be non-negative");
+        // hnp-lint: allow(integer_purity): construction-time geometry
         let fan_in = ((inputs as f64 * connectivity).ceil() as usize).max(1);
         let mut weights = vec![0i16; outputs * fan_in];
         let mut sources = vec![0u32; outputs * fan_in];

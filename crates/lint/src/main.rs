@@ -1,0 +1,86 @@
+//! `hnp-lint` CLI.
+//!
+//! ```text
+//! hnp-lint [--root DIR] [--json PATH] [--quiet]
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on unsuppressed findings, 2 on usage
+//! or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hnp_lint::{report, workspace};
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory")?,
+                ))
+            }
+            "--json" => args.json = Some(PathBuf::from(it.next().ok_or("--json requires a path")?)),
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: hnp-lint [--root DIR] [--json PATH] [--quiet]".to_string())
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+pub fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| workspace::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("hnp-lint: could not locate the workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let rep = match workspace::check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hnp-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report::json(&rep)) {
+            eprintln!("hnp-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !args.quiet {
+        print!("{}", report::human(&rep));
+    }
+    if rep.unsuppressed_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,145 @@
+//! Human-readable and machine-readable (JSON) report rendering.
+
+use std::fmt::Write as _;
+
+use crate::rules::Rule;
+use crate::workspace::Report;
+
+/// Renders the human report: one line per finding, grouped summary at
+/// the end.
+pub fn human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let tag = if f.suppressed { " (suppressed)" } else { "" };
+        let _ = writeln!(
+            out,
+            "{}:{}: [{} {}]{} {}",
+            f.file,
+            f.line,
+            f.rule.id(),
+            f.rule.name(),
+            tag,
+            f.message
+        );
+    }
+    let mut per_rule = String::new();
+    for rule in Rule::all() {
+        let n = report.unsuppressed().filter(|f| f.rule == rule).count();
+        if n > 0 {
+            let _ = write!(per_rule, " {}={n}", rule.name());
+        }
+    }
+    let _ = writeln!(
+        out,
+        "hnp-lint: {} file(s), {} crate(s): {} unsuppressed finding(s), {} suppressed{}",
+        report.files_scanned,
+        report.crates.len(),
+        report.unsuppressed_count(),
+        report.suppressed_count(),
+        per_rule
+    );
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report. Hand-rolled on purpose: the
+/// linter must not depend on the crates it checks (or on anything
+/// else).
+pub fn json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let comma = if i + 1 == report.findings.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"suppressed\": {}, \"message\": \"{}\"}}{comma}",
+            f.rule.id(),
+            f.rule.name(),
+            json_escape(&f.file),
+            f.line,
+            f.suppressed,
+            json_escape(&f.message)
+        );
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"summary\": {{\"files_scanned\": {}, \"crates\": {}, \"unsuppressed\": {}, \"suppressed\": {}}}\n}}\n",
+        report.files_scanned,
+        report.crates.len(),
+        report.unsuppressed_count(),
+        report.suppressed_count()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    fn demo_report() -> Report {
+        Report {
+            findings: vec![
+                Finding {
+                    rule: Rule::PanicHygiene,
+                    file: "crates/x/src/a.rs".into(),
+                    line: 3,
+                    message: "`.unwrap()` with \"quotes\"".into(),
+                    suppressed: false,
+                },
+                Finding {
+                    rule: Rule::Determinism,
+                    file: "crates/x/src/b.rs".into(),
+                    line: 9,
+                    message: "`HashMap` iteration".into(),
+                    suppressed: true,
+                },
+            ],
+            files_scanned: 2,
+            crates: vec!["hnp-x".into()],
+        }
+    }
+
+    #[test]
+    fn human_report_lists_findings_and_summary() {
+        let text = human(&demo_report());
+        assert!(text.contains("crates/x/src/a.rs:3: [HNP03 panic_hygiene]"));
+        assert!(text.contains("(suppressed)"));
+        assert!(text.contains("1 unsuppressed finding(s), 1 suppressed"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let text = json(&demo_report());
+        assert!(text.contains("\\\"quotes\\\""));
+        assert!(text.contains("\"unsuppressed\": 1"));
+        assert!(text.contains("\"suppressed\": true"));
+        // Sanity: balanced braces and valid-ish structure.
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! The invariant catalog (see DESIGN.md §9).
+//!
+//! | id    | rule             | scope                                  |
+//! |-------|------------------|----------------------------------------|
+//! | HNP01 | `determinism`    | core, hebbian, memsim, systems         |
+//! | HNP02 | `layering`       | every workspace crate                  |
+//! | HNP03 | `panic_hygiene`  | library crates, outside `#[cfg(test)]` |
+//! | HNP04 | `integer_purity` | hebbian, outside `#[cfg(test)]`        |
+//!
+//! Each rule can be suppressed per-line with
+//! `// hnp-lint: allow(<rule>)` (covering that line and the next) or
+//! per-file with `// hnp-lint: allow-file(<rule>)`.
+
+use crate::tokenizer::{test_spans, LexOutput, TokKind};
+use crate::workspace::CrateInfo;
+
+/// Rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// HNP01: no wall-clock, entropy seeding, or hash-order iteration
+    /// in simulator/model state paths.
+    Determinism,
+    /// HNP02: the crate graph must follow the layered architecture
+    /// with no back-edges.
+    Layering,
+    /// HNP03: no `unwrap`/`expect`/`panic!`-family calls in library
+    /// code outside tests.
+    PanicHygiene,
+    /// HNP04: the Hebbian substrate stays integer-pure (Eq. 1 /
+    /// Table 2 ops accounting).
+    IntegerPurity,
+}
+
+impl Rule {
+    /// Stable pragma / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::Layering => "layering",
+            Rule::PanicHygiene => "panic_hygiene",
+            Rule::IntegerPurity => "integer_purity",
+        }
+    }
+
+    /// Stable short id.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Determinism => "HNP01",
+            Rule::Layering => "HNP02",
+            Rule::PanicHygiene => "HNP03",
+            Rule::IntegerPurity => "HNP04",
+        }
+    }
+
+    /// All rules, in id order.
+    pub fn all() -> [Rule; 4] {
+        [
+            Rule::Determinism,
+            Rule::Layering,
+            Rule::PanicHygiene,
+            Rule::IntegerPurity,
+        ]
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path (or `<crate>/Cargo.toml` for
+    /// layering findings).
+    pub file: String,
+    /// 1-based line (0 when the finding is manifest-level).
+    pub line: u32,
+    /// Human-readable description with a suggested fix.
+    pub message: String,
+    /// True when an `hnp-lint: allow(...)` pragma covers it.
+    pub suppressed: bool,
+}
+
+/// Crates whose runtime state must be bit-reproducible (HNP01).
+pub const DETERMINISM_CRATES: &[&str] = &["hnp-core", "hnp-hebbian", "hnp-memsim", "hnp-systems"];
+
+/// Library crates held to panic hygiene (HNP03). Binaries (`hnp-cli`,
+/// `hnp-bench`, `hnp-lint`) may abort on operator error.
+pub const LIBRARY_CRATES: &[&str] = &[
+    "hnp-nn",
+    "hnp-hebbian",
+    "hnp-trace",
+    "hnp-memsim",
+    "hnp-core",
+    "hnp-systems",
+    "hnp-baselines",
+];
+
+/// Crates whose learning/inference arithmetic must be integer-only
+/// (HNP04).
+pub const INTEGER_PURE_CRATES: &[&str] = &["hnp-hebbian"];
+
+/// The layered architecture (HNP02): a crate may depend only on
+/// crates of a strictly lower layer. Leaves first:
+/// `trace/nn/hebbian/lint → memsim → core/baselines → systems →
+/// bench/cli`.
+pub const LAYERS: &[(&str, u32)] = &[
+    ("hnp-trace", 0),
+    ("hnp-nn", 0),
+    ("hnp-hebbian", 0),
+    ("hnp-lint", 0),
+    ("hnp-memsim", 1),
+    ("hnp-core", 2),
+    ("hnp-baselines", 2),
+    ("hnp-systems", 3),
+    ("hnp-bench", 4),
+    ("hnp-cli", 4),
+];
+
+fn layer_of(name: &str) -> Option<u32> {
+    LAYERS.iter().find(|(n, _)| *n == name).map(|&(_, l)| l)
+}
+
+/// Identifiers banned by HNP01 and the suggested replacement.
+const NONDETERMINISTIC_IDENTS: &[(&str, &str)] = &[
+    ("Instant", "take tick counts from the simulation clock, not the wall clock"),
+    ("SystemTime", "take timestamps from the simulation clock, not the wall clock"),
+    ("thread_rng", "use `StdRng::seed_from_u64(cfg.seed)` so runs replay bit-identically"),
+    ("from_entropy", "use `StdRng::seed_from_u64(cfg.seed)` so runs replay bit-identically"),
+    ("RandomState", "use an order-stable collection (`BTreeMap`/`BTreeSet`)"),
+    ("HashMap", "use `BTreeMap` (or collect and sort before iterating): hash order must not reach simulator state"),
+    ("HashSet", "use `BTreeSet` (or collect and sort before iterating): hash order must not reach simulator state"),
+];
+
+/// Macro names banned by HNP03 (when followed by `!`).
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs all token-level rules on one source file of `krate`, appending
+/// unsuppressed-yet findings (suppression is applied by the engine).
+pub fn check_file(krate: &CrateInfo, rel_path: &str, lexed: &LexOutput, out: &mut Vec<Finding>) {
+    let toks = &lexed.tokens;
+    let in_test = test_spans(toks);
+    let name = krate.name.as_str();
+    let deterministic = DETERMINISM_CRATES.contains(&name);
+    let library = LIBRARY_CRATES.contains(&name);
+    let int_pure = INTEGER_PURE_CRATES.contains(&name);
+
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        if deterministic && t.kind == TokKind::Ident {
+            if let Some((_, fix)) = NONDETERMINISTIC_IDENTS
+                .iter()
+                .find(|(banned, _)| t.text == *banned)
+            {
+                out.push(Finding {
+                    rule: Rule::Determinism,
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!("`{}` in a determinism-critical crate: {fix}", t.text),
+                    suppressed: false,
+                });
+            }
+        }
+        if library && t.kind == TokKind::Ident {
+            let method_call = |name: &str| {
+                (t.text == name)
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            };
+            if method_call("unwrap") || method_call("expect") {
+                out.push(Finding {
+                    rule: Rule::PanicHygiene,
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`.{}()` in library code: return a typed error or handle the `None`/`Err` arm",
+                        t.text
+                    ),
+                    suppressed: false,
+                });
+            }
+            if PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(Finding {
+                    rule: Rule::PanicHygiene,
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{}!` in library code: return a typed error (asserts with documented contracts are exempt via pragma)",
+                        t.text
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
+        if int_pure {
+            let is_float_type = t.kind == TokKind::Ident && (t.text == "f32" || t.text == "f64");
+            let is_float_lit = t.kind == TokKind::FloatLit;
+            if is_float_type || is_float_lit {
+                out.push(Finding {
+                    rule: Rule::IntegerPurity,
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "float `{}` in the integer-pure Hebbian substrate: Eq. 1 and the Table-2 ops count assume integer-only weight updates (use `LrScale` fixed-point)",
+                        t.text
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
+        // Source-level layering: `use hnp_foo::...` / `hnp_foo::` paths.
+        if t.kind == TokKind::Ident && t.text.starts_with("hnp_") {
+            let dep = t.text.replace('_', "-");
+            if dep != name {
+                if let (Some(me), Some(them)) = (layer_of(name), layer_of(&dep)) {
+                    if them >= me {
+                        out.push(Finding {
+                            rule: Rule::Layering,
+                            file: rel_path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "back-edge: `{name}` (layer {me}) references `{dep}` (layer {them}); dependencies must point strictly downward"
+                            ),
+                            suppressed: false,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checks one crate's manifest-declared dependency edges (HNP02).
+pub fn check_manifest(krate: &CrateInfo, out: &mut Vec<Finding>) {
+    let manifest = format!("crates/{}/Cargo.toml", krate.dir_name);
+    let Some(me) = layer_of(&krate.name) else {
+        out.push(Finding {
+            rule: Rule::Layering,
+            file: manifest,
+            line: 0,
+            message: format!(
+                "crate `{}` has no layer assignment; add it to LAYERS in crates/lint/src/rules.rs",
+                krate.name
+            ),
+            suppressed: false,
+        });
+        return;
+    };
+    for (dep, dev_only) in krate
+        .deps
+        .iter()
+        .map(|d| (d, false))
+        .chain(krate.dev_deps.iter().map(|d| (d, true)))
+    {
+        if !dep.starts_with("hnp-") {
+            continue;
+        }
+        let Some(them) = layer_of(dep) else {
+            out.push(Finding {
+                rule: Rule::Layering,
+                file: manifest.clone(),
+                line: 0,
+                message: format!(
+                    "dependency `{dep}` has no layer assignment; add it to LAYERS in crates/lint/src/rules.rs"
+                ),
+                suppressed: false,
+            });
+            continue;
+        };
+        if them >= me {
+            let kind = if dev_only {
+                "dev-dependency"
+            } else {
+                "dependency"
+            };
+            out.push(Finding {
+                rule: Rule::Layering,
+                file: manifest.clone(),
+                line: 0,
+                message: format!(
+                    "back-edge: `{}` (layer {me}) declares {kind} `{dep}` (layer {them}); the DAG is trace/nn/hebbian/lint → memsim → core/baselines → systems → bench/cli",
+                    krate.name
+                ),
+                suppressed: false,
+            });
+        }
+    }
+}

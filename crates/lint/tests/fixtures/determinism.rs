@@ -1,0 +1,23 @@
+//! HNP01 fixture: every line here must trip the determinism rule when
+//! checked as part of a determinism-critical crate.
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn bad_clock() -> std::time::Instant {
+    Instant::now()
+}
+
+fn bad_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn bad_state() {
+    let scores: HashMap<u64, u64> = HashMap::new();
+    for (k, v) in &scores {
+        // Hash order reaches simulator state here.
+        let _ = (k, v);
+    }
+    let seen = std::collections::HashSet::new();
+    let _ = seen.insert(1u64);
+}

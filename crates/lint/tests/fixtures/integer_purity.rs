@@ -1,0 +1,25 @@
+//! HNP04 fixture: float arithmetic in Hebbian weight-update code.
+
+fn bad_scaled_step(step: i16, scale: f32) -> i16 {
+    (step as f32 * scale).round() as i16
+}
+
+fn bad_literal() -> i64 {
+    (0.5 * 8.0) as i64
+}
+
+fn bad_double(x: f64) -> f64 {
+    x * 2.0
+}
+
+fn fine_integer(step: i16, scale_q24: u32) -> i16 {
+    ((step as i64 * scale_q24 as i64) >> 24) as i16
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_asserts_in_tests_are_allowed() {
+        assert!((1.5f32 * 2.0) > 2.9);
+    }
+}

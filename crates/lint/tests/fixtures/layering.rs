@@ -1,0 +1,15 @@
+//! HNP02 fixture: a low-layer crate reaching upward in source. When
+//! checked as `hnp-memsim` (layer 1), the `hnp_systems` (layer 3) and
+//! `hnp_core` (layer 2) references below are back-edges; `hnp_trace`
+//! (layer 0) is fine.
+
+use hnp_trace::Trace;
+
+fn back_edge_use() {
+    let _ = hnp_systems::disagg::noop();
+    let _ = hnp_core::cls::noop();
+}
+
+fn fine(t: &Trace) -> usize {
+    t.len()
+}

@@ -1,0 +1,33 @@
+//! HNP03 fixture: library-crate code full of panic paths. The test
+//! module at the bottom must NOT produce findings.
+
+fn bad_option(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn bad_result(x: Result<u32, ()>) -> u32 {
+    x.expect("must be ok")
+}
+
+fn bad_macros(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+    unreachable!();
+}
+
+fn fine(x: Option<u32>) -> u32 {
+    // unwrap_or is a distinct identifier, not `.unwrap()`.
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_allowed() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u32, ()> = Ok(4);
+        assert_eq!(r.expect("ok"), 4);
+    }
+}

@@ -1,0 +1,15 @@
+//! Pragma fixture: each violation below carries a suppression; the
+//! final one does not and must remain visible.
+
+fn suppressed_same_line(x: Option<u32>) -> u32 {
+    x.unwrap() // hnp-lint: allow(panic_hygiene): fixture contract
+}
+
+fn suppressed_line_above(x: Option<u32>) -> u32 {
+    // hnp-lint: allow(panic_hygiene): fixture contract
+    x.unwrap()
+}
+
+fn not_suppressed(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,41 @@
+//! The workspace gate: tier-1 `cargo test` fails if any crate picks up
+//! an unsuppressed invariant violation — a wall-clock read in a
+//! simulator, a hash-ordered map in state, a layering back-edge (e.g.
+//! `memsim` importing `core`), a stray `unwrap()` in library code, or
+//! float arithmetic in the Hebbian substrate.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint is two levels below the workspace root")
+        .to_path_buf();
+    let report = hnp_lint::check_workspace(&root).expect("lint engine must run");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — workspace discovery broke",
+        report.files_scanned
+    );
+    let violations: Vec<String> = report
+        .unsuppressed()
+        .map(|f| {
+            format!(
+                "{}:{}: [{} {}] {}",
+                f.file,
+                f.line,
+                f.rule.id(),
+                f.rule.name(),
+                f.message
+            )
+        })
+        .collect();
+    assert!(
+        violations.is_empty(),
+        "hnp-lint found {} unsuppressed violation(s):\n{}",
+        violations.len(),
+        violations.join("\n")
+    );
+}

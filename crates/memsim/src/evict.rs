@@ -5,7 +5,7 @@
 //! simulations use a plain capacity-bounded memory); FIFO, CLOCK and
 //! random exist for sensitivity studies.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -66,7 +66,7 @@ pub trait Evictor: Send {
 /// O(1) LRU via an arena-backed doubly linked list.
 struct Lru {
     /// `page -> arena slot`.
-    map: HashMap<u64, usize>,
+    map: BTreeMap<u64, usize>,
     /// Arena of list nodes: `(page, prev, next)`; `usize::MAX` = none.
     nodes: Vec<(u64, usize, usize)>,
     free: Vec<usize>,
@@ -79,7 +79,7 @@ const NONE: usize = usize::MAX;
 impl Lru {
     fn new() -> Self {
         Self {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             nodes: Vec::new(),
             free: Vec::new(),
             head: NONE,
@@ -169,14 +169,14 @@ impl Evictor for Lru {
 /// FIFO: eviction order is insertion order; accesses don't matter.
 struct Fifo {
     queue: VecDeque<u64>,
-    resident: HashMap<u64, ()>,
+    resident: BTreeSet<u64>,
 }
 
 impl Fifo {
     fn new() -> Self {
         Self {
             queue: VecDeque::new(),
-            resident: HashMap::new(),
+            resident: BTreeSet::new(),
         }
     }
 }
@@ -184,7 +184,7 @@ impl Fifo {
 impl Evictor for Fifo {
     fn on_insert(&mut self, page: u64) {
         assert!(
-            self.resident.insert(page, ()).is_none(),
+            self.resident.insert(page),
             "page {page:#x} already resident"
         );
         self.queue.push_back(page);
@@ -194,10 +194,12 @@ impl Evictor for Fifo {
 
     fn evict(&mut self) -> u64 {
         loop {
+            // Documented trait contract: evict() panics when empty.
+            // hnp-lint: allow(panic_hygiene): trait-level panic contract
             let page = self.queue.pop_front().expect("evict from empty memory");
             // Entries removed via `remove` may linger in the queue;
             // skip them lazily.
-            if self.resident.remove(&page).is_some() {
+            if self.resident.remove(&page) {
                 return page;
             }
         }
@@ -208,7 +210,7 @@ impl Evictor for Fifo {
     }
 
     fn contains(&self, page: u64) -> bool {
-        self.resident.contains_key(&page)
+        self.resident.contains(&page)
     }
 
     fn len(&self) -> usize {
@@ -219,7 +221,7 @@ impl Evictor for Fifo {
 /// CLOCK / second chance.
 struct Clock {
     slots: Vec<Option<(u64, bool)>>, // (page, referenced).
-    index: HashMap<u64, usize>,
+    index: BTreeMap<u64, usize>,
     hand: usize,
     free: Vec<usize>,
 }
@@ -228,7 +230,7 @@ impl Clock {
     fn new() -> Self {
         Self {
             slots: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             hand: 0,
             free: Vec::new(),
         }
@@ -300,7 +302,7 @@ impl Evictor for Clock {
 /// Random victim selection.
 struct RandomEvict {
     pages: Vec<u64>,
-    index: HashMap<u64, usize>,
+    index: BTreeMap<u64, usize>,
     rng: StdRng,
 }
 
@@ -308,7 +310,7 @@ impl RandomEvict {
     fn new(seed: u64) -> Self {
         Self {
             pages: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             rng: StdRng::seed_from_u64(seed),
         }
     }

@@ -1,6 +1,6 @@
 //! The resident-page store: a capacity-bounded local memory.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::evict::{EvictionPolicy, Evictor};
 
@@ -19,7 +19,7 @@ pub struct PageMeta {
 pub struct LocalMemory {
     capacity: usize,
     evictor: Box<dyn Evictor>,
-    meta: HashMap<u64, PageMeta>,
+    meta: BTreeMap<u64, PageMeta>,
 }
 
 impl LocalMemory {
@@ -33,7 +33,7 @@ impl LocalMemory {
         Self {
             capacity,
             evictor: policy.build(),
-            meta: HashMap::new(),
+            meta: BTreeMap::new(),
         }
     }
 
@@ -85,10 +85,11 @@ impl LocalMemory {
         }
         let evicted = if self.meta.len() >= self.capacity {
             let victim = self.evictor.evict();
-            let m = self
-                .meta
-                .remove(&victim)
-                .expect("victim must have metadata");
+            // The evictor only ever returns resident pages, whose
+            // metadata is inserted alongside them.
+            let m = self.meta.remove(&victim);
+            // hnp-lint: allow(panic_hygiene): evictor/meta stay in lockstep
+            let m = m.expect("victim must have metadata");
             Some((victim, m))
         } else {
             None

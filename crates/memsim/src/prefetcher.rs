@@ -120,7 +120,7 @@ impl Prefetcher for Box<dyn Prefetcher> {
 /// memory for per-stream pattern fidelity.
 pub struct DemuxPrefetcher {
     make: Box<dyn FnMut(u16) -> Box<dyn Prefetcher>>,
-    subs: std::collections::HashMap<u16, Box<dyn Prefetcher>>,
+    subs: std::collections::BTreeMap<u16, Box<dyn Prefetcher>>,
     name: String,
 }
 
@@ -130,7 +130,7 @@ impl DemuxPrefetcher {
     pub fn new(name: &str, make: impl FnMut(u16) -> Box<dyn Prefetcher> + 'static) -> Self {
         Self {
             make: Box::new(make),
-            subs: std::collections::HashMap::new(),
+            subs: std::collections::BTreeMap::new(),
             name: format!("demux({name})"),
         }
     }

@@ -25,7 +25,7 @@
 //! evaluation windows (hysteresis), so the wrapper does not flap at a
 //! threshold boundary.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use serde::Serialize;
 
@@ -220,11 +220,11 @@ pub struct ResilientPrefetcher<P: Prefetcher> {
     /// Inner-probe outcomes while in Fallback.
     probe_window: OutcomeWindow,
     /// Issued page → source, bounded FIFO.
-    issued: HashMap<u64, Source>,
+    issued: BTreeMap<u64, Source>,
     issue_order: VecDeque<u64>,
-    /// Whether a tracked inner page was a Fallback-mode probe.
-    probes: HashMap<u64, ()>,
-    stride: HashMap<u16, StrideState>,
+    /// Pages issued as Fallback-mode probes of the inner model.
+    probes: BTreeSet<u64>,
+    stride: BTreeMap<u16, StrideState>,
     feedback_seen: usize,
     good_evals: u32,
     misses_since_disable: usize,
@@ -251,10 +251,10 @@ impl<P: Prefetcher> ResilientPrefetcher<P> {
                 OutcomeWindow::new(cfg.window),
             ],
             probe_window: OutcomeWindow::new(cfg.window.max(8) / 2),
-            issued: HashMap::new(),
+            issued: BTreeMap::new(),
             issue_order: VecDeque::new(),
-            probes: HashMap::new(),
-            stride: HashMap::new(),
+            probes: BTreeSet::new(),
+            stride: BTreeMap::new(),
             feedback_seen: 0,
             good_evals: 0,
             misses_since_disable: 0,
@@ -299,7 +299,7 @@ impl<P: Prefetcher> ResilientPrefetcher<P> {
             self.issue_order.push_back(page);
         }
         if probe {
-            self.probes.insert(page, ());
+            self.probes.insert(page);
         }
     }
 
@@ -432,7 +432,7 @@ impl<P: Prefetcher> Prefetcher for ResilientPrefetcher<P> {
             PrefetchFeedback::Cancelled { page } => (page, false),
         };
         if let Some(source) = self.issued.remove(&page) {
-            let probe = self.probes.remove(&page).is_some();
+            let probe = self.probes.remove(&page);
             if probe {
                 self.probe_window.push(good);
             } else {

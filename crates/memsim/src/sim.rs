@@ -16,7 +16,7 @@
 //! latency hiding). This is what makes §5.2's "a perfect but slow
 //! model always prefetches too late" measurable.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::Serialize;
 
@@ -193,7 +193,7 @@ impl Simulator {
         );
         let mut memory = LocalMemory::new(self.cfg.capacity_pages, self.cfg.eviction);
         // In-flight prefetches: page -> arrival tick.
-        let mut inflight: HashMap<u64, u64> = HashMap::new();
+        let mut inflight: BTreeMap<u64, u64> = BTreeMap::new();
         let mut now: u64 = 0;
         let mut report = SimReport {
             prefetcher: prefetcher.name().to_string(),
@@ -220,15 +220,15 @@ impl Simulator {
             let page = access.page(shift);
             now += 1;
             report.accesses += 1;
-            // Land arrived prefetches (sorted: HashMap order must not
-            // leak into eviction order — determinism).
+            // Land arrived prefetches. BTreeMap iterates in page
+            // order, so arrival order cannot leak hash randomness
+            // into eviction order — determinism.
             if !inflight.is_empty() {
-                let mut arrived: Vec<u64> = inflight
+                let arrived: Vec<u64> = inflight
                     .iter()
                     .filter(|&(_, &t)| t <= now)
                     .map(|(&p, _)| p)
                     .collect();
-                arrived.sort_unstable();
                 for p in arrived {
                     inflight.remove(&p);
                     Self::insert_accounting(&mut memory, &mut report, prefetcher, p, true, now);

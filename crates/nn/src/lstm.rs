@@ -303,7 +303,7 @@ impl LstmNetwork {
         for _ in 0..steps {
             let cache = self.cell_forward(tok, &h, &c);
             let logits = self.project(&cache.h);
-            let p = argmax(&logits).expect("non-empty logits");
+            let Some(p) = argmax(&logits) else { break };
             preds.push(p);
             h = cache.h;
             c = cache.c;
@@ -336,7 +336,8 @@ impl LstmNetwork {
             let cache = self.cell_forward(tok, &h, &c);
             let logits = self.project(&cache.h);
             let ks = top_k(&logits, width);
-            tok = *ks.first().expect("non-empty logits");
+            let Some(&first) = ks.first() else { break };
+            tok = first;
             if step == 0 {
                 let mut probs = logits.clone();
                 crate::activations::softmax_in_place(&mut probs);
@@ -592,7 +593,7 @@ impl LstmNetwork {
     /// steps, accumulating parameter gradients.
     fn backward_through(&mut self, caches: &[StepCache], dlogits: &[f32]) {
         let hdim = self.cfg.hidden;
-        let last = caches.last().expect("at least one step");
+        let Some(last) = caches.last() else { return };
         // Projection layer.
         self.gw_out.rank1_acc(1.0, dlogits, &last.h);
         for (g, &d) in self.gb_out.iter_mut().zip(dlogits.iter()) {

@@ -26,9 +26,9 @@ impl Matrix {
     ///
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        let len = rows
-            .checked_mul(cols)
-            .expect("matrix dimensions overflow usize");
+        let len = rows.checked_mul(cols);
+        // hnp-lint: allow(panic_hygiene): documented construction contract
+        let len = len.expect("matrix dimensions overflow usize");
         Self {
             rows,
             cols,

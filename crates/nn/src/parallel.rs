@@ -66,6 +66,7 @@ impl ThreadSlicer {
                 }));
             }
             for h in handles {
+                // hnp-lint: allow(panic_hygiene): re-raise worker panics
                 h.join().expect("matvec worker panicked");
             }
         });

@@ -175,7 +175,7 @@ impl QuantizedLstm {
         let mut preds = Vec::with_capacity(steps);
         for _ in 0..steps {
             let (h_new, c_new, logits) = self.cell_forward(tok, &h, &c);
-            let p = argmax(&logits).expect("non-empty logits");
+            let Some(p) = argmax(&logits) else { break };
             preds.push(p);
             h = h_new;
             c = c_new;

@@ -14,7 +14,7 @@
 //! a fault event is active**, so an empty [`FaultSchedule`] leaves the
 //! simulation bit-identical to a run without any injector at all.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -249,7 +249,7 @@ pub struct FaultInjector {
     schedule: FaultSchedule,
     rng: StdRng,
     /// Crash events already delivered, by index into the schedule.
-    crashes_taken: HashSet<usize>,
+    crashes_taken: BTreeSet<usize>,
     /// What-happened counters.
     pub stats: FaultStats,
 }
@@ -260,7 +260,7 @@ impl FaultInjector {
         Self {
             schedule,
             rng: StdRng::seed_from_u64(seed),
-            crashes_taken: HashSet::new(),
+            crashes_taken: BTreeSet::new(),
             stats: FaultStats::default(),
         }
     }

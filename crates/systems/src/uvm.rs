@@ -162,7 +162,7 @@ impl UvmSim {
     ) -> UvmReport {
         assert!(!warps.is_empty(), "no warps");
         let combined_footprint: usize = {
-            let mut pages = std::collections::HashSet::new();
+            let mut pages = std::collections::BTreeSet::new();
             for w in warps {
                 pages.extend(w.pages());
             }

@@ -6,14 +6,18 @@
 //!   the page shift and length, then little-endian `(u64 addr, u16
 //!   stream)` records — suitable for multi-million-access traces;
 //! * plain JSON for small traces and interchange.
+//!
+//! All fallible operations return [`TraceError`] rather than
+//! panicking.
 
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
 use crate::access::{Access, Trace};
+use crate::error::TraceError;
 
 /// Header of the binary format.
 #[derive(Debug, Serialize, Deserialize)]
@@ -30,8 +34,8 @@ const MAGIC: &str = "hnp-trace";
 ///
 /// # Errors
 ///
-/// Returns any underlying I/O error.
-pub fn write_binary(trace: &Trace, path: &Path) -> io::Result<()> {
+/// Returns any underlying I/O or header-encoding error.
+pub fn write_binary(trace: &Trace, path: &Path) -> Result<(), TraceError> {
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
     let header = Header {
@@ -40,45 +44,48 @@ pub fn write_binary(trace: &Trace, path: &Path) -> io::Result<()> {
         page_shift: trace.page_shift(),
         len: trace.len(),
     };
-    serde_json::to_writer(&mut w, &header)?;
+    serde_json::to_writer(&mut w, &header).map_err(TraceError::Json)?;
     w.write_all(b"\n")?;
     for a in trace.accesses() {
         w.write_all(&a.addr.to_le_bytes())?;
         w.write_all(&a.stream.to_le_bytes())?;
     }
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Reads a binary-format trace from `path`.
 ///
 /// # Errors
 ///
-/// Returns an error on I/O failure, bad magic, or truncated data.
-pub fn read_binary(path: &Path) -> io::Result<Trace> {
+/// Returns [`TraceError::Io`] on I/O failure, [`TraceError::BadMagic`]
+/// / [`TraceError::BadHeader`] on header problems, and
+/// [`TraceError::Truncated`] when the record stream ends early.
+pub fn read_binary(path: &Path) -> Result<Trace, TraceError> {
     let file = File::open(path)?;
     let mut r = BufReader::new(file);
     let mut header_line = String::new();
     r.read_line(&mut header_line)?;
-    let header: Header = serde_json::from_str(header_line.trim_end())
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let header: Header =
+        serde_json::from_str(header_line.trim_end()).map_err(TraceError::BadHeader)?;
     if header.magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("bad magic {:?}", header.magic),
-        ));
+        return Err(TraceError::BadMagic(header.magic));
     }
     let mut accesses = Vec::with_capacity(header.len);
-    let mut rec = [0u8; 10];
+    let mut addr_bytes = [0u8; 8];
+    let mut stream_bytes = [0u8; 2];
     for i in 0..header.len {
-        r.read_exact(&mut rec).map_err(|_| {
-            io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                format!("truncated at record {i} of {}", header.len),
-            )
+        let read = r
+            .read_exact(&mut addr_bytes)
+            .and_then(|()| r.read_exact(&mut stream_bytes));
+        read.map_err(|_| TraceError::Truncated {
+            record: i,
+            expected: header.len,
         })?;
-        let addr = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
-        let stream = u16::from_le_bytes(rec[8..].try_into().expect("2 bytes"));
-        accesses.push(Access { addr, stream });
+        accesses.push(Access {
+            addr: u64::from_le_bytes(addr_bytes),
+            stream: u16::from_le_bytes(stream_bytes),
+        });
     }
     Ok(Trace::from_accesses(accesses, header.page_shift))
 }
@@ -97,7 +104,7 @@ pub struct TraceJson {
 /// # Errors
 ///
 /// Returns serialization errors (shouldn't happen for valid traces).
-pub fn to_json(trace: &Trace) -> serde_json::Result<String> {
+pub fn to_json(trace: &Trace) -> Result<String, TraceError> {
     serde_json::to_string(&TraceJson {
         page_shift: trace.page_shift(),
         accesses: trace
@@ -106,6 +113,7 @@ pub fn to_json(trace: &Trace) -> serde_json::Result<String> {
             .map(|a| (a.addr, a.stream))
             .collect(),
     })
+    .map_err(TraceError::Json)
 }
 
 /// Parses a JSON trace.
@@ -113,8 +121,8 @@ pub fn to_json(trace: &Trace) -> serde_json::Result<String> {
 /// # Errors
 ///
 /// Returns parse errors on malformed input.
-pub fn from_json(s: &str) -> serde_json::Result<Trace> {
-    let j: TraceJson = serde_json::from_str(s)?;
+pub fn from_json(s: &str) -> Result<Trace, TraceError> {
+    let j: TraceJson = serde_json::from_str(s).map_err(TraceError::Json)?;
     Ok(Trace::from_accesses(
         j.accesses
             .into_iter()
@@ -154,27 +162,38 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_is_an_error() {
+    fn truncated_file_is_a_typed_error() {
         let t = Pattern::Stride.generate(100, 0);
         let path = temp_path("truncated.hnpt");
         write_binary(&t, &path).unwrap();
         let data = std::fs::read(&path).unwrap();
         std::fs::write(&path, &data[..data.len() - 5]).unwrap();
         let err = read_binary(&path).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        match err {
+            TraceError::Truncated { expected, .. } => assert_eq!(expected, 100),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn bad_magic_is_an_error() {
+    fn bad_magic_is_a_typed_error() {
         let path = temp_path("badmagic.hnpt");
         std::fs::write(
             &path,
             b"{\"magic\":\"nope\",\"version\":1,\"page_shift\":12,\"len\":0}\n",
         )
         .unwrap();
-        assert!(read_binary(&path).is_err());
+        let err = read_binary(&path).unwrap_err();
+        assert!(matches!(err, TraceError::BadMagic(m) if m == "nope"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_maps_to_io() {
+        let err = read_binary(Path::new("/nonexistent/hnp-nope.hnpt")).unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
     }
 
     #[test]

@@ -10,13 +10,15 @@
 //! * [`zipf`] — a Zipf sampler used by the app generators;
 //! * [`stats`] — footprints, delta histograms and learnability
 //!   diagnostics;
-//! * [`io`] — binary and JSON trace serialization.
+//! * [`io`] — binary and JSON trace serialization;
+//! * [`error`] — the [`error::TraceError`] type those paths return.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;
 pub mod apps;
+pub mod error;
 pub mod io;
 pub mod patterns;
 pub mod phased;
@@ -24,4 +26,5 @@ pub mod stats;
 pub mod zipf;
 
 pub use access::{Access, Trace, PAGE_SHIFT};
+pub use error::TraceError;
 pub use patterns::Pattern;
