@@ -18,5 +18,7 @@ pub mod simple;
 pub mod transformer;
 
 pub use lstm::{LstmPrefetcher, LstmPrefetcherConfig};
-pub use simple::{MarkovPrefetcher, NextNPrefetcher, StridePrefetcher};
+pub use simple::{
+    MarkovConfig, MarkovPrefetcher, NextNConfig, NextNPrefetcher, StrideConfig, StridePrefetcher,
+};
 pub use transformer::{TransformerPrefetcher, TransformerPrefetcherConfig};

@@ -8,6 +8,27 @@ use std::collections::HashMap;
 
 use hnp_memsim::prefetcher::{MissEvent, Prefetcher};
 
+/// Configuration of [`NextNPrefetcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextNConfig {
+    /// Sequential pages fetched per miss.
+    pub degree: usize,
+}
+
+impl Default for NextNConfig {
+    fn default() -> Self {
+        Self { degree: 4 }
+    }
+}
+
+impl NextNConfig {
+    /// Sets the number of sequential pages fetched per miss.
+    pub fn with_degree(mut self, degree: usize) -> Self {
+        self.degree = degree;
+        self
+    }
+}
+
 /// Prefetches the next `n` sequential pages after every miss.
 #[derive(Debug, Clone)]
 pub struct NextNPrefetcher {
@@ -20,9 +41,22 @@ impl NextNPrefetcher {
     /// # Panics
     ///
     /// Panics if `n == 0`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use NextNPrefetcher::with_config(NextNConfig)"
+    )]
     pub fn new(n: usize) -> Self {
-        assert!(n > 0, "degree must be positive");
-        Self { n }
+        Self::with_config(NextNConfig { degree: n })
+    }
+
+    /// Creates a next-`n`-line prefetcher from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.degree == 0`.
+    pub fn with_config(cfg: NextNConfig) -> Self {
+        assert!(cfg.degree > 0, "degree must be positive");
+        Self { n: cfg.degree }
     }
 }
 
@@ -50,6 +84,38 @@ pub struct StridePrefetcher {
     degree: usize,
 }
 
+/// Configuration of [`StridePrefetcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideConfig {
+    /// Consecutive stride confirmations required before prefetching.
+    pub threshold: u32,
+    /// Pages fetched ahead once confident.
+    pub degree: usize,
+}
+
+impl Default for StrideConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 2,
+            degree: 4,
+        }
+    }
+}
+
+impl StrideConfig {
+    /// Sets the confirmation threshold.
+    pub fn with_threshold(mut self, threshold: u32) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the prefetch degree.
+    pub fn with_degree(mut self, degree: usize) -> Self {
+        self.degree = degree;
+        self
+    }
+}
+
 impl StridePrefetcher {
     /// Creates a stride prefetcher that confirms a stride `threshold`
     /// times before issuing `degree` prefetches ahead.
@@ -57,14 +123,27 @@ impl StridePrefetcher {
     /// # Panics
     ///
     /// Panics if `degree == 0`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use StridePrefetcher::with_config(StrideConfig)"
+    )]
     pub fn new(threshold: u32, degree: usize) -> Self {
-        assert!(degree > 0, "degree must be positive");
+        Self::with_config(StrideConfig { threshold, degree })
+    }
+
+    /// Creates a stride prefetcher from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.degree == 0`.
+    pub fn with_config(cfg: StrideConfig) -> Self {
+        assert!(cfg.degree > 0, "degree must be positive");
         Self {
             last_page: None,
             last_delta: None,
             confidence: 0,
-            threshold,
-            degree,
+            threshold: cfg.threshold,
+            degree: cfg.degree,
         }
     }
 }
@@ -119,6 +198,38 @@ pub struct MarkovPrefetcher {
     last_page: Option<u64>,
 }
 
+/// Configuration of [`MarkovPrefetcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkovConfig {
+    /// Bounded transition-table capacity (pages tracked).
+    pub capacity: usize,
+    /// Successor predictions remembered per page.
+    pub successors: usize,
+}
+
+impl Default for MarkovConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 4096,
+            successors: 2,
+        }
+    }
+}
+
+impl MarkovConfig {
+    /// Sets the transition-table capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the successor count per page.
+    pub fn with_successors(mut self, successors: usize) -> Self {
+        self.successors = successors;
+        self
+    }
+}
+
 impl MarkovPrefetcher {
     /// Creates a Markov prefetcher with a `capacity`-entry table and
     /// `successors` predictions per page.
@@ -126,13 +237,29 @@ impl MarkovPrefetcher {
     /// # Panics
     ///
     /// Panics if `capacity == 0` or `successors == 0`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use MarkovPrefetcher::with_config(MarkovConfig)"
+    )]
     pub fn new(capacity: usize, successors: usize) -> Self {
-        assert!(capacity > 0 && successors > 0);
+        Self::with_config(MarkovConfig {
+            capacity,
+            successors,
+        })
+    }
+
+    /// Creates a Markov prefetcher from `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.capacity == 0` or `cfg.successors == 0`.
+    pub fn with_config(cfg: MarkovConfig) -> Self {
+        assert!(cfg.capacity > 0 && cfg.successors > 0);
         Self {
             table: HashMap::new(),
             order: Vec::new(),
-            capacity,
-            successors,
+            capacity: cfg.capacity,
+            successors: cfg.successors,
             last_page: None,
         }
     }
@@ -191,7 +318,7 @@ mod tests {
 
     #[test]
     fn next_n_emits_sequential_pages() {
-        let mut p = NextNPrefetcher::new(3);
+        let mut p = NextNPrefetcher::with_config(NextNConfig::default().with_degree(3));
         let out = p.on_miss(&MissEvent {
             page: 10,
             tick: 0,
@@ -202,7 +329,7 @@ mod tests {
 
     #[test]
     fn stride_prefetcher_waits_for_confirmation() {
-        let mut p = StridePrefetcher::new(2, 2);
+        let mut p = StridePrefetcher::with_config(StrideConfig::default().with_degree(2));
         let mk = |page| MissEvent {
             page,
             tick: 0,
@@ -216,7 +343,10 @@ mod tests {
 
     #[test]
     fn stride_prefetcher_resets_on_pattern_break() {
-        let mut p = StridePrefetcher::new(1, 1);
+        let mut p = StridePrefetcher::with_config(StrideConfig {
+            threshold: 1,
+            degree: 1,
+        });
         let mk = |page| MissEvent {
             page,
             tick: 0,
@@ -230,7 +360,7 @@ mod tests {
 
     #[test]
     fn markov_learns_repeated_transitions() {
-        let mut p = MarkovPrefetcher::new(16, 2);
+        let mut p = MarkovPrefetcher::with_config(MarkovConfig::default().with_capacity(16));
         let mk = |page| MissEvent {
             page,
             tick: 0,
@@ -245,7 +375,10 @@ mod tests {
 
     #[test]
     fn markov_table_capacity_is_bounded() {
-        let mut p = MarkovPrefetcher::new(4, 1);
+        let mut p = MarkovPrefetcher::with_config(MarkovConfig {
+            capacity: 4,
+            successors: 1,
+        });
         let mk = |page| MissEvent {
             page,
             tick: 0,
@@ -262,7 +395,10 @@ mod tests {
         let t = Pattern::Stride.generate(3000, 0);
         let s = sim();
         let base = s.run(&t, &mut NoPrefetcher);
-        let rep = s.run(&t, &mut StridePrefetcher::new(2, 4));
+        let rep = s.run(
+            &t,
+            &mut StridePrefetcher::with_config(StrideConfig::default()),
+        );
         assert!(
             rep.pct_misses_removed(&base) > 40.0,
             "removed {:.1}%",
@@ -275,8 +411,14 @@ mod tests {
         let t = Pattern::PointerChase.generate(4000, 1);
         let s = sim();
         let base = s.run(&t, &mut NoPrefetcher);
-        let stride = s.run(&t, &mut StridePrefetcher::new(2, 4));
-        let markov = s.run(&t, &mut MarkovPrefetcher::new(256, 2));
+        let stride = s.run(
+            &t,
+            &mut StridePrefetcher::with_config(StrideConfig::default()),
+        );
+        let markov = s.run(
+            &t,
+            &mut MarkovPrefetcher::with_config(MarkovConfig::default().with_capacity(256)),
+        );
         assert!(
             markov.pct_misses_removed(&base) > stride.pct_misses_removed(&base),
             "markov {:.1}% vs stride {:.1}%",
@@ -287,8 +429,32 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_shims_match_config_constructors() {
+        let mk = |page| MissEvent {
+            page,
+            tick: 0,
+            stream: 0,
+        };
+        let mut old_stride = StridePrefetcher::new(2, 4);
+        let mut new_stride = StridePrefetcher::with_config(StrideConfig::default());
+        let mut old_markov = MarkovPrefetcher::new(4096, 2);
+        let mut new_markov = MarkovPrefetcher::with_config(MarkovConfig::default());
+        let mut old_nextn = NextNPrefetcher::new(4);
+        let mut new_nextn = NextNPrefetcher::with_config(NextNConfig::default());
+        for page in [10u64, 12, 14, 16, 18, 10, 12] {
+            assert_eq!(old_stride.on_miss(&mk(page)), new_stride.on_miss(&mk(page)));
+            assert_eq!(old_markov.on_miss(&mk(page)), new_markov.on_miss(&mk(page)));
+            assert_eq!(old_nextn.on_miss(&mk(page)), new_nextn.on_miss(&mk(page)));
+        }
+    }
+
+    #[test]
     fn negative_stride_never_yields_negative_pages() {
-        let mut p = StridePrefetcher::new(0, 4);
+        let mut p = StridePrefetcher::with_config(StrideConfig {
+            threshold: 0,
+            degree: 4,
+        });
         let mk = |page| MissEvent {
             page,
             tick: 0,

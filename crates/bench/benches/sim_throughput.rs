@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use hnp_baselines::{MarkovPrefetcher, StridePrefetcher};
+use hnp_baselines::{MarkovConfig, MarkovPrefetcher, StrideConfig, StridePrefetcher};
 use hnp_core::{ClsConfig, ClsPrefetcher};
 use hnp_memsim::evict::EvictionPolicy;
 use hnp_memsim::memory::LocalMemory;
@@ -14,16 +14,19 @@ use hnp_trace::Pattern;
 
 fn bench_simulator(c: &mut Criterion) {
     let trace = AppWorkload::PageRankLike.generate(20_000, 3);
-    let sim = Simulator::new(SimConfig::sized_for(&trace, 0.5, SimConfig::default()));
+    let sim = Simulator::new(SimConfig::default().sized_to(&trace, 0.5));
     let mut group = c.benchmark_group("sim_20k_accesses");
     group.sample_size(10);
     type Factory = Box<dyn Fn() -> Box<dyn Prefetcher>>;
     let cases: Vec<(&str, Factory)> = vec![
         ("none", Box::new(|| Box::new(NoPrefetcher))),
-        ("stride", Box::new(|| Box::new(StridePrefetcher::new(2, 4)))),
+        (
+            "stride",
+            Box::new(|| Box::new(StridePrefetcher::with_config(StrideConfig::default()))),
+        ),
         (
             "markov",
-            Box::new(|| Box::new(MarkovPrefetcher::new(4096, 2))),
+            Box::new(|| Box::new(MarkovPrefetcher::with_config(MarkovConfig::default()))),
         ),
         (
             "cls-hebbian",

@@ -48,7 +48,7 @@ fn encoders() -> Vec<(&'static str, EncoderKind)> {
 }
 
 fn run_workload(name: &str, trace: &Trace, rows: &mut Vec<Row>) {
-    let cfg = SimConfig::sized_for(trace, 0.5, SimConfig::default());
+    let cfg = SimConfig::default().sized_to(trace, 0.5);
     let sim = Simulator::new(cfg);
     let base = sim.run(trace, &mut NoPrefetcher);
     for (ename, encoder) in encoders() {

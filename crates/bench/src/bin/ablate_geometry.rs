@@ -65,7 +65,7 @@ fn main() {
         "{:<12} {:<16} {:>10} {:>9} {:>9}",
         "axis", "value", "removed%", "accuracy", "issued"
     );
-    let cfg0 = SimConfig::sized_for(&trace, 0.5, SimConfig::default());
+    let cfg0 = SimConfig::default().sized_to(&trace, 0.5);
     let sim = Simulator::new(cfg0);
     let base = sim.run(&trace, &mut NoPrefetcher);
     for lookahead in [1usize, 2, 4, 8] {
@@ -122,14 +122,11 @@ fn main() {
     );
     for inference_latency in [0u64, 200, 800] {
         for lookahead in [1usize, 4] {
-            let cfg = SimConfig::sized_for(
-                &trace,
-                0.5,
-                SimConfig {
-                    inference_latency,
-                    ..SimConfig::default()
-                },
-            );
+            let cfg = SimConfig {
+                inference_latency,
+                ..SimConfig::default()
+            }
+            .sized_to(&trace, 0.5);
             let sim_l = Simulator::new(cfg);
             let base_l = sim_l.run(&trace, &mut NoPrefetcher);
             let mut p = ClsPrefetcher::new(ClsConfig {
@@ -160,15 +157,12 @@ fn main() {
         "inf-latency", "controller", "removed%", "accuracy", "issued"
     );
     for inference_latency in [0u64, 200, 800] {
-        let cfg = SimConfig::sized_for(
-            &trace,
-            0.5,
-            SimConfig {
-                inference_latency,
-                max_issue_per_miss: 8,
-                ..SimConfig::default()
-            },
-        );
+        let cfg = SimConfig {
+            inference_latency,
+            max_issue_per_miss: 8,
+            ..SimConfig::default()
+        }
+        .sized_to(&trace, 0.5);
         let sim_l = Simulator::new(cfg);
         let base_l = sim_l.run(&trace, &mut NoPrefetcher);
         for adaptive in [false, true] {

@@ -28,7 +28,7 @@ struct Row {
 }
 
 fn run(workload: &str, trace: &Trace, rows: &mut Vec<Row>) {
-    let sim = Simulator::new(SimConfig::sized_for(trace, 0.5, SimConfig::default()));
+    let sim = Simulator::new(SimConfig::default().sized_to(trace, 0.5));
     let base = sim.run(trace, &mut NoPrefetcher);
     let conditions: Vec<(&str, ClsConfig)> = vec![
         (

@@ -87,7 +87,7 @@ fn run_condition(
 fn main() {
     let per_phase = output::arg_or(1, "HNP_ACCESSES", 40_000);
     let trace = aba_trace(per_phase);
-    let cfg0 = SimConfig::sized_for(&trace, 0.5, SimConfig::default());
+    let cfg0 = SimConfig::default().sized_to(&trace, 0.5);
     let sim = Simulator::new(cfg0);
     let base = sim.run_with_checkpoints(&trace, &mut NoPrefetcher, &[2 * per_phase]);
     let mut rows = Vec::new();

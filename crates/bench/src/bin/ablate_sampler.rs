@@ -26,7 +26,7 @@ struct Row {
 fn main() {
     let accesses = output::arg_or(1, "HNP_ACCESSES", 100_000);
     let trace = AppWorkload::TensorFlowLike.generate(accesses, 7);
-    let cfg = SimConfig::sized_for(&trace, 0.5, SimConfig::default());
+    let cfg = SimConfig::default().sized_to(&trace, 0.5);
     let sim = Simulator::new(cfg);
     let base = sim.run(&trace, &mut NoPrefetcher);
     let samplers: Vec<(&str, TrainingSampler)> = vec![

@@ -22,7 +22,7 @@
 
 use serde::Serialize;
 
-use hnp_baselines::{LstmPrefetcher, LstmPrefetcherConfig, StridePrefetcher};
+use hnp_baselines::{LstmPrefetcher, LstmPrefetcherConfig, StrideConfig, StridePrefetcher};
 use hnp_bench::output;
 use hnp_core::{ClsConfig, ClsPrefetcher};
 use hnp_memsim::{NoPrefetcher, Prefetcher, ResilientPrefetcher};
@@ -68,7 +68,9 @@ fn make_model(name: &str, seed: u64) -> Box<dyn Prefetcher> {
             seed,
             ..LstmPrefetcherConfig::default()
         })),
-        "stride" => Box::new(StridePrefetcher::new(2, 2)),
+        "stride" => Box::new(StridePrefetcher::with_config(
+            StrideConfig::default().with_degree(2),
+        )),
         other => panic!("unknown model {other}"),
     }
 }

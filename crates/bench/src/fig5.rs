@@ -11,11 +11,12 @@
 use serde::Serialize;
 
 use hnp_baselines::{
-    LstmPrefetcher, LstmPrefetcherConfig, MarkovPrefetcher, StridePrefetcher,
-    TransformerPrefetcher, TransformerPrefetcherConfig,
+    LstmPrefetcher, LstmPrefetcherConfig, MarkovConfig, MarkovPrefetcher, StrideConfig,
+    StridePrefetcher, TransformerPrefetcher, TransformerPrefetcherConfig,
 };
 use hnp_core::{ClsConfig, ClsPrefetcher};
 use hnp_memsim::{NoPrefetcher, Prefetcher, SimConfig, Simulator};
+use hnp_obs::{Counters, Registry};
 use hnp_trace::apps::AppWorkload;
 
 /// Experiment parameters.
@@ -80,8 +81,8 @@ pub fn prefetcher_names() -> Vec<&'static str> {
 
 fn build_prefetcher(name: &str, seed: u64) -> Box<dyn Prefetcher> {
     match name {
-        "stride" => Box::new(StridePrefetcher::new(2, 4)),
-        "markov" => Box::new(MarkovPrefetcher::new(4096, 2)),
+        "stride" => Box::new(StridePrefetcher::with_config(StrideConfig::default())),
+        "markov" => Box::new(MarkovPrefetcher::with_config(MarkovConfig::default())),
         "lstm" => Box::new(LstmPrefetcher::new(LstmPrefetcherConfig {
             seed,
             ..LstmPrefetcherConfig::default()
@@ -105,21 +106,33 @@ fn build_prefetcher(name: &str, seed: u64) -> Box<dyn Prefetcher> {
 /// Runs one application against one prefetcher (plus the baseline).
 pub fn run_app(app: AppWorkload, prefetcher_name: &str, opts: &Fig5Options) -> Fig5Row {
     let trace = app.generate(opts.accesses, opts.seed);
-    let cfg = SimConfig::sized_for(
-        &trace,
-        opts.capacity_frac,
-        SimConfig {
-            miss_latency: opts.miss_latency,
-            prefetch_latency: opts.prefetch_latency,
-            max_issue_per_miss: 4,
-            max_inflight: 32,
-            ..SimConfig::default()
-        },
-    );
-    let sim = Simulator::new(cfg);
-    let base = sim.run(&trace, &mut NoPrefetcher);
+    let cfg = SimConfig {
+        miss_latency: opts.miss_latency,
+        prefetch_latency: opts.prefetch_latency,
+        max_issue_per_miss: 4,
+        max_inflight: 32,
+        ..SimConfig::default()
+    }
+    .sized_to(&trace, opts.capacity_frac);
+    let base = Simulator::new(cfg.clone()).run(&trace, &mut NoPrefetcher);
+    let counters = Counters::new();
+    let obs = Registry::new();
+    obs.attach(counters.clone());
+    let sim = Simulator::new(cfg.with_observer(obs));
     let mut p = build_prefetcher(prefetcher_name, opts.seed);
     let rep = sim.run(&trace, p.as_mut());
+    // The report and the counters are two independent folds of the same
+    // event stream; a mismatch means an emission site drifted.
+    assert_eq!(
+        counters.get("prefetch_issued"),
+        rep.prefetches_issued as u64,
+        "event-stream issued count must reproduce the report"
+    );
+    assert_eq!(
+        counters.get("hit") + counters.get("miss"),
+        rep.accesses as u64,
+        "event stream must account for every access"
+    );
     Fig5Row {
         app: app.name().to_string(),
         prefetcher: prefetcher_name.to_string(),

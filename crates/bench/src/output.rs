@@ -1,32 +1,28 @@
 //! Experiment output: printed tables plus JSON artifacts.
+//!
+//! Artifact writing goes through [`hnp_obs::ReportSink`], the
+//! workspace-wide writer: one `[artifact] <path>` marker per file,
+//! best-effort semantics (a read-only filesystem degrades a run to
+//! console output, it never aborts one).
 
-use std::fs;
 use std::path::PathBuf;
 
+use hnp_obs::ReportSink;
 use serde::Serialize;
 
 /// Where JSON experiment artifacts are written.
 pub fn experiments_dir() -> PathBuf {
-    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string());
-    PathBuf::from(base).join("experiments")
+    ReportSink::experiments().dir().to_path_buf()
 }
 
 /// Serializes `value` to `target/experiments/<id>.json`. Prints the
-/// path on success; experiment binaries must not fail just because the
-/// artifact directory is unwritable, so errors are reported and
-/// swallowed.
+/// path on success; errors are reported and swallowed (see
+/// [`ReportSink::write_text`]).
 pub fn write_json<T: Serialize>(id: &str, value: &T) {
-    let dir = experiments_dir();
-    if let Err(e) = fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return;
-    }
-    let path = dir.join(format!("{id}.json"));
     match serde_json::to_string_pretty(value) {
-        Ok(s) => match fs::write(&path, s) {
-            Ok(()) => println!("[artifact] {}", path.display()),
-            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-        },
+        Ok(s) => {
+            ReportSink::experiments().write_text(&format!("{id}.json"), &s);
+        }
         Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
     }
 }

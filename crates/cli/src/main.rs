@@ -3,7 +3,10 @@
 //! ```text
 //! hnpctl trace-gen  --workload pagerank --accesses 100000 --seed 1 --out t.hnpt
 //! hnpctl trace-stats --trace t.hnpt
-//! hnpctl sim        --trace t.hnpt --prefetcher cls-hebbian [--capacity-frac 0.5]
+//! hnpctl run        --trace t.hnpt --prefetcher cls-hebbian [--capacity-frac 0.5]
+//!                   [--obs events.jsonl]   (alias: sim)
+//! hnpctl stats      --events events.jsonl
+//! hnpctl stats      --trace t.hnpt [--prefetcher NAME]
 //! hnpctl compare    --trace t.hnpt [--capacity-frac 0.5]
 //! hnpctl patterns   [--accesses 1000]
 //! hnpctl faults     --workload pagerank --schedule lossy:5000:40000:0.5 \
@@ -24,12 +27,14 @@ use std::process::ExitCode;
 
 use args::Args;
 use hnp_baselines::{
-    LstmPrefetcher, LstmPrefetcherConfig, MarkovPrefetcher, NextNPrefetcher, StridePrefetcher,
-    TransformerPrefetcher, TransformerPrefetcherConfig,
+    LstmPrefetcher, LstmPrefetcherConfig, MarkovConfig, MarkovPrefetcher, NextNConfig,
+    NextNPrefetcher, StrideConfig, StridePrefetcher, TransformerPrefetcher,
+    TransformerPrefetcherConfig,
 };
 use hnp_core::{ClsConfig, ClsPrefetcher};
 use hnp_lint as lint;
 use hnp_memsim::{NoPrefetcher, Prefetcher, ResilientPrefetcher, SimConfig, Simulator};
+use hnp_obs::{jsonl_kind, jsonl_u64, Counters, Histogram, JsonlExporter, Metric, Registry};
 use hnp_systems::{
     DisaggConfig, DisaggregatedCluster, FaultInjector, FaultSchedule, UvmConfig, UvmSim,
 };
@@ -38,10 +43,13 @@ use hnp_trace::stats::TraceStats;
 use hnp_trace::{io, Pattern, Trace};
 
 const USAGE: &str =
-    "usage: hnpctl <trace-gen|trace-stats|sim|compare|patterns|faults|lint> [--key value ...]
+    "usage: hnpctl <trace-gen|trace-stats|run|stats|compare|patterns|faults|lint> [--key value ...]
   trace-gen   --workload NAME --accesses N [--seed S] --out FILE
-  trace-stats --trace FILE
-  sim         --trace FILE --prefetcher NAME [--capacity-frac F] [--seed S] [--json true]
+  trace-stats --trace FILE [--csv true]
+  run         --trace FILE --prefetcher NAME [--capacity-frac F] [--seed S] [--json true]
+              [--obs FILE]  (writes the event stream as JSON Lines; alias: sim)
+  stats       --events FILE  (aggregate a --obs JSONL stream)
+              | --trace FILE [--prefetcher NAME] [--capacity-frac F] [--seed S]
   compare     --trace FILE [--capacity-frac F] [--seed S]
   patterns    [--accesses N]
   faults      --workload NAME [--target disagg|uvm] [--nodes K] [--accesses N]
@@ -62,7 +70,8 @@ fn main() -> ExitCode {
     let result = match args.command.as_str() {
         "trace-gen" => cmd_trace_gen(&args),
         "trace-stats" => cmd_trace_stats(&args),
-        "sim" => cmd_sim(&args),
+        "sim" | "run" => cmd_sim(&args),
+        "stats" => cmd_stats(&args),
         "compare" => cmd_compare(&args),
         "patterns" => cmd_patterns(&args),
         "faults" => cmd_faults(&args),
@@ -102,9 +111,9 @@ fn workload(name: &str, accesses: usize, seed: u64) -> Result<Trace, String> {
 fn prefetcher(name: &str, seed: u64) -> Result<Box<dyn Prefetcher>, String> {
     Ok(match name {
         "none" => Box::new(NoPrefetcher),
-        "stride" => Box::new(StridePrefetcher::new(2, 4)),
-        "markov" => Box::new(MarkovPrefetcher::new(4096, 2)),
-        "next-n" => Box::new(NextNPrefetcher::new(4)),
+        "stride" => Box::new(StridePrefetcher::with_config(StrideConfig::default())),
+        "markov" => Box::new(MarkovPrefetcher::with_config(MarkovConfig::default())),
+        "next-n" => Box::new(NextNPrefetcher::with_config(NextNConfig::default())),
         "lstm" => Box::new(LstmPrefetcher::new(LstmPrefetcherConfig {
             seed,
             ..LstmPrefetcherConfig::default()
@@ -138,16 +147,12 @@ fn load_trace(args: &Args) -> Result<Trace, String> {
     io::read_binary(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn sim_for(trace: &Trace, args: &Args) -> Result<Simulator, String> {
+fn sim_cfg_for(trace: &Trace, args: &Args) -> Result<SimConfig, String> {
     let frac: f64 = args.get_num("capacity-frac", 0.5)?;
     if !(0.0..=1.0).contains(&frac) || frac == 0.0 {
         return Err("--capacity-frac must be in (0, 1]".into());
     }
-    Ok(Simulator::new(SimConfig::sized_for(
-        trace,
-        frac,
-        SimConfig::default(),
-    )))
+    Ok(SimConfig::default().sized_to(trace, frac))
 }
 
 fn cmd_trace_gen(args: &Args) -> Result<(), String> {
@@ -168,6 +173,11 @@ fn cmd_trace_gen(args: &Args) -> Result<(), String> {
 fn cmd_trace_stats(args: &Args) -> Result<(), String> {
     let trace = load_trace(args)?;
     let s = TraceStats::compute(&trace);
+    if args.get("csv", "false") == "true" {
+        println!("{}", TraceStats::csv_header());
+        println!("{}", s.csv_row());
+        return Ok(());
+    }
     println!("accesses:        {}", s.len);
     println!("footprint pages: {}", s.footprint_pages);
     println!("unique deltas:   {}", s.unique_deltas);
@@ -183,10 +193,24 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     let trace = load_trace(args)?;
     let seed: u64 = args.get_num("seed", 1)?;
     let name = args.get("prefetcher", "cls-hebbian");
-    let sim = sim_for(&trace, args)?;
-    let base = sim.run(&trace, &mut NoPrefetcher);
+    let cfg = sim_cfg_for(&trace, args)?;
+    // Only the prefetcher run is observed; the baseline would double
+    // every event in the stream.
+    let base = Simulator::new(cfg.clone()).run(&trace, &mut NoPrefetcher);
+    let obs_path = args.get("obs", "");
+    let exporter = JsonlExporter::new();
+    let reg = Registry::new();
+    if !obs_path.is_empty() {
+        reg.attach(exporter.clone());
+    }
+    let sim = Simulator::new(cfg.with_observer(reg));
     let mut p = prefetcher(name, seed)?;
     let rep = sim.run(&trace, p.as_mut());
+    if !obs_path.is_empty() {
+        std::fs::write(obs_path, exporter.render())
+            .map_err(|e| format!("cannot write {obs_path}: {e}"))?;
+        println!("wrote {obs_path}: {} events", exporter.len());
+    }
     if args.get("json", "false") == "true" {
         println!(
             "{}",
@@ -222,10 +246,112 @@ fn cmd_sim(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Aggregates an observability event stream: either a `--obs` JSONL
+/// file written by `hnpctl run`, or a fresh observed run over
+/// `--trace` with counter and histogram sinks attached.
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let events_path = args.get("events", "");
+    if !events_path.is_empty() {
+        return stats_from_file(events_path);
+    }
+    let trace = load_trace(args)?;
+    let seed: u64 = args.get_num("seed", 1)?;
+    let name = args.get("prefetcher", "cls-hebbian");
+    let counters = Counters::new();
+    let stalls = Histogram::exponential(Metric::MissStall, 16);
+    let leads = Histogram::exponential(Metric::PrefetchLead, 16);
+    let reg = Registry::new();
+    reg.attach(counters.clone());
+    reg.attach(stalls.clone());
+    reg.attach(leads.clone());
+    let sim = Simulator::new(sim_cfg_for(&trace, args)?.with_observer(reg));
+    let mut p = prefetcher(name, seed)?;
+    let rep = sim.run(&trace, p.as_mut());
+    println!("prefetcher:      {}", rep.prefetcher);
+    println!("event counters:");
+    for (key, v) in counters.snapshot() {
+        println!("  {key:<22} {v}");
+    }
+    print_hist("miss stall ticks", &stalls);
+    print_hist("prefetch lead ticks", &leads);
+    Ok(())
+}
+
+fn print_hist(label: &str, h: &Histogram) {
+    if h.total() == 0 {
+        println!("{label}: no samples");
+        return;
+    }
+    println!(
+        "{label}: {} samples, mean {:.3}",
+        h.total(),
+        h.mean_milli() as f64 / 1000.0
+    );
+    for (bound, count) in h.buckets() {
+        if count == 0 {
+            continue;
+        }
+        if bound == u64::MAX {
+            println!("  >  rest       {count}");
+        } else {
+            println!("  <  {bound:<10} {count}");
+        }
+    }
+}
+
+/// Offline aggregation of a JSONL event stream (the `--obs` artifact).
+fn stats_from_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut kinds: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut stall_sum = 0u64;
+    let mut late = 0u64;
+    let mut run_end: Option<(u64, u64, u64, u64)> = None;
+    let mut malformed = 0u64;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Some(kind) = jsonl_kind(line) else {
+            malformed += 1;
+            continue;
+        };
+        *kinds.entry(kind.to_string()).or_insert(0) += 1;
+        match kind {
+            "miss" => {
+                stall_sum += jsonl_u64(line, "stall").unwrap_or(0);
+                if line.contains("\"late\":true") {
+                    late += 1;
+                }
+            }
+            "run_end" => {
+                run_end = Some((
+                    jsonl_u64(line, "ticks").unwrap_or(0),
+                    jsonl_u64(line, "accesses").unwrap_or(0),
+                    jsonl_u64(line, "hits").unwrap_or(0),
+                    jsonl_u64(line, "misses").unwrap_or(0),
+                ));
+            }
+            _ => {}
+        }
+    }
+    println!("events by kind:");
+    for (k, v) in &kinds {
+        println!("  {k:<22} {v}");
+    }
+    println!("late misses:     {late}");
+    println!("stall ticks:     {stall_sum}");
+    if let Some((ticks, accesses, hits, misses)) = run_end {
+        println!(
+            "run totals:      {ticks} ticks, {accesses} accesses, {hits} hits, {misses} misses"
+        );
+    }
+    if malformed > 0 {
+        return Err(format!("{malformed} malformed line(s) in {path}"));
+    }
+    Ok(())
+}
+
 fn cmd_compare(args: &Args) -> Result<(), String> {
     let trace = load_trace(args)?;
     let seed: u64 = args.get_num("seed", 1)?;
-    let sim = sim_for(&trace, args)?;
+    let sim = Simulator::new(sim_cfg_for(&trace, args)?);
     let base = sim.run(&trace, &mut NoPrefetcher);
     println!(
         "{:<14} {:>10} {:>10} {:>9}",

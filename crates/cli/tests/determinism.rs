@@ -7,7 +7,7 @@
 //! processes, but the CI matrix plus this in-process check together
 //! pin both directions).
 
-use hnp_baselines::StridePrefetcher;
+use hnp_baselines::{StrideConfig, StridePrefetcher};
 use hnp_core::{ClsConfig, ClsPrefetcher};
 use hnp_memsim::{Prefetcher, ResilientPrefetcher, SimConfig, Simulator};
 use hnp_trace::apps::AppWorkload;
@@ -39,5 +39,9 @@ fn cls_hebbian_double_run_is_bit_identical() {
 
 #[test]
 fn resilient_stride_double_run_is_bit_identical() {
-    assert_double_run_identical(|| Box::new(ResilientPrefetcher::new(StridePrefetcher::new(2, 4))));
+    assert_double_run_identical(|| {
+        Box::new(ResilientPrefetcher::new(StridePrefetcher::with_config(
+            StrideConfig::default(),
+        )))
+    });
 }

@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 
 use hnp_memsim::deltas::{pages_from_rollout, DeltaVocab};
 use hnp_memsim::prefetcher::{MissEvent, Prefetcher};
+use hnp_obs::{Event, Registry};
 
 use crate::adaptive::{AdaptiveConfig, AdaptiveGeometry};
 use crate::confidence::ConfidenceTracker;
@@ -61,6 +62,11 @@ pub struct ClsConfig {
     pub stream_isolation: bool,
     /// Seed for sampler/replay randomness.
     pub seed: u64,
+    /// Observer registry; the prefetcher emits replay-step, phase-
+    /// transition, and periodic epoch-summary events into it. Share
+    /// the same registry with the simulator's config to interleave
+    /// model events with memory events in one stream.
+    pub obs: Registry,
 }
 
 impl Default for ClsConfig {
@@ -79,11 +85,42 @@ impl Default for ClsConfig {
             adaptive: None,
             stream_isolation: true,
             seed: 0xc15,
+            obs: Registry::new(),
         }
     }
 }
 
 impl ClsConfig {
+    /// Sets the sampler/replay randomness seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the prefetch lookahead (prediction steps per miss).
+    pub fn with_lookahead(mut self, steps: usize) -> Self {
+        self.lookahead = steps;
+        self
+    }
+
+    /// Sets the prefetch width (predictions per step).
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Sets the minimum issue confidence.
+    pub fn with_min_confidence(mut self, min: f32) -> Self {
+        self.min_confidence = min;
+        self
+    }
+
+    /// Attaches an observer registry to the prefetcher.
+    pub fn with_observer(mut self, obs: Registry) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// The paper's §3.1 configuration: miss history of one input (the
     /// recurrent state carries the rest), training on every miss,
     /// unbounded hippocampus.
@@ -121,6 +158,9 @@ impl ClsConfig {
         }
     }
 }
+
+/// Misses between consecutive `EpochSummary` events.
+const OBS_EPOCH_PERIOD: u64 = 256;
 
 /// The CLS prefetcher.
 pub struct ClsPrefetcher {
@@ -339,9 +379,36 @@ impl Prefetcher for ClsPrefetcher {
             stream.history.pop_front();
         }
         let hist = Self::context_of(&self.streams[&key].history, window);
+        let replayed_before = self.replay.replayed;
         self.learn(ctx, token);
+        let replayed_now = self.replay.replayed - replayed_before;
+        if replayed_now > 0 {
+            self.cfg.obs.emit(&Event::ReplayStep {
+                step: self.steps,
+                replayed: replayed_now,
+                pressure: self.hippo.stored() as u64,
+            });
+        }
         if let Some(pd) = &mut self.phase {
-            let _ = pd.observe(token);
+            if let Some(change) = pd.observe(token) {
+                self.cfg.obs.emit(&Event::PhaseTransition {
+                    step: self.steps,
+                    from: change.from as i64,
+                    to: change.to as i64,
+                    novel: change.is_new,
+                });
+            }
+        }
+        if self.steps.is_multiple_of(OBS_EPOCH_PERIOD) {
+            let net = self.cortex.stats();
+            self.cfg.obs.emit(&Event::EpochSummary {
+                step: self.steps,
+                confidence_milli: (self.tracker.ema() * 1000.0) as u64,
+                accuracy_milli: (self.tracker.windowed_accuracy() * 1000.0) as u64,
+                replayed: self.replay.replayed,
+                overlap_milli: net.overlap_milli(),
+                weight_ops: net.update_ops,
+            });
         }
         // Predict forward from the full history including `token`;
         // only issue when the model is confident enough (§5.2).
@@ -599,6 +666,37 @@ mod tests {
             rep_adaptive.pct_misses_removed(&base),
             rep_fixed.pct_misses_removed(&base)
         );
+    }
+
+    #[test]
+    fn model_events_flow_and_observers_are_inert() {
+        use hnp_obs::Counters;
+        let t = phased::phases(&[(Pattern::PointerChase, 3000), (Pattern::Stride, 3000)], 7);
+        let s = sim();
+        let cfg = ClsConfig {
+            replay: ReplayConfig {
+                per_step: 2,
+                ..ReplayConfig::default()
+            },
+            ..ClsConfig::small()
+        };
+        let mut plain = ClsPrefetcher::new(cfg.clone());
+        let rep_plain = s.run(&t, &mut plain);
+
+        let reg = Registry::new();
+        let counters = Counters::new();
+        reg.attach(counters.clone());
+        let mut observed = ClsPrefetcher::new(cfg.with_observer(reg));
+        let rep_obs = s.run(&t, &mut observed);
+
+        assert_eq!(rep_plain, rep_obs, "observers must not perturb the model");
+        assert_eq!(counters.get("replayed_episodes"), observed.replayed());
+        assert!(counters.get("replay_step") > 0, "replay steps observed");
+        assert!(
+            counters.get("phase_transition") > 0,
+            "the A->B drift must surface as a phase transition"
+        );
+        assert!(counters.get("epoch_summary") > 0, "epoch summaries flow");
     }
 
     #[test]

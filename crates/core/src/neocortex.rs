@@ -5,7 +5,7 @@
 //! access pattern". Here it is the sparse Hebbian network of
 //! `hnp-hebbian`, sized from the input encoder and delta vocabulary.
 
-use hnp_hebbian::{HebbianConfig, HebbianNetwork, HebbianOutcome, LrScale};
+use hnp_hebbian::{HebbianConfig, HebbianNetwork, HebbianOutcome, LrScale, NetStats};
 
 use crate::encoder::Encoder;
 
@@ -89,6 +89,12 @@ impl Neocortex {
     /// Mutable access (availability protocol swaps weights).
     pub fn network_mut(&mut self) -> &mut HebbianNetwork {
         &mut self.net
+    }
+
+    /// The network's instrumentation counters (k-WTA stability,
+    /// weight churn) for the observability layer's epoch summaries.
+    pub fn stats(&self) -> NetStats {
+        self.net.stats()
     }
 
     /// One online training step at full rate.

@@ -29,4 +29,4 @@ pub mod network;
 pub mod sparse;
 
 pub use lr::LrScale;
-pub use network::{HebbianConfig, HebbianNetwork, HebbianOutcome, HiddenLearning};
+pub use network::{HebbianConfig, HebbianNetwork, HebbianOutcome, HiddenLearning, NetStats};

@@ -154,6 +154,38 @@ impl HebbianConfig {
     }
 }
 
+/// Integer-only instrumentation counters maintained inline in the
+/// forward/train paths. The observability layer reads these through
+/// getters — `hnp-hebbian` is a leaf crate and must not depend on the
+/// event bus, so the network accumulates raw sums and the caller
+/// derives rates.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Forward passes taken (k-WTA selections), including rollout
+    /// lookahead steps.
+    pub steps: u64,
+    /// Sum over steps of the winner-set intersection with the previous
+    /// step's winners (k-WTA stability numerator).
+    pub overlap_sum: u64,
+    /// Sum over steps of the winner-set size (stability denominator).
+    pub winner_slots: u64,
+    /// Training steps whose weight update was actually applied
+    /// (stochastic scaled updates may skip).
+    pub weight_updates: u64,
+    /// Integer ops spent inside applied weight updates (weight churn).
+    pub update_ops: u64,
+}
+
+impl NetStats {
+    /// Mean consecutive-step winner overlap, in thousandths. High
+    /// overlap means the k-WTA winner sets are stable across steps.
+    pub fn overlap_milli(&self) -> u64 {
+        (self.overlap_sum * 1000)
+            .checked_div(self.winner_slots)
+            .unwrap_or(0)
+    }
+}
+
 /// The result of one inference or training step.
 #[derive(Debug, Clone)]
 pub struct HebbianOutcome {
@@ -168,6 +200,24 @@ pub struct HebbianOutcome {
     pub correct: bool,
     /// Integer operations spent on this step.
     pub ops: usize,
+}
+
+/// Size of the intersection of two ascending-sorted index slices
+/// (two-pointer sweep; both come from `k_winners`, which sorts).
+fn sorted_intersection(a: &[u32], b: &[u32]) -> u64 {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
 }
 
 /// The sparse Hebbian prefetch network.
@@ -190,6 +240,10 @@ pub struct HebbianNetwork {
     /// Scratch buffers reused across steps.
     hidden_scores: Vec<i32>,
     out_scores: Vec<i32>,
+    /// Previous step's winner set (sorted), for overlap tracking.
+    prev_winners: Vec<u32>,
+    /// Instrumentation counters (read via [`HebbianNetwork::stats`]).
+    stats: NetStats,
 }
 
 impl HebbianNetwork {
@@ -261,8 +315,21 @@ impl HebbianNetwork {
             pattern_code_map,
             recurrent: Vec::new(),
             rng,
+            prev_winners: Vec::new(),
+            stats: NetStats::default(),
             cfg,
         }
+    }
+
+    /// Instrumentation counters accumulated since construction (or the
+    /// last [`HebbianNetwork::reset_stats`]).
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Zeroes the instrumentation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
     }
 
     /// The configuration this network was built from.
@@ -335,6 +402,11 @@ impl HebbianNetwork {
         ops += 2 * self.cfg.hidden;
         ops += self.layer2.forward(&winners, &mut self.out_scores);
         ops += self.cfg.outputs; // Argmax scan.
+        self.stats.steps += 1;
+        self.stats.overlap_sum += sorted_intersection(&winners, &self.prev_winners);
+        self.stats.winner_slots += winners.len() as u64;
+        self.prev_winners.clear();
+        self.prev_winners.extend_from_slice(&winners);
         (winners, ops)
     }
 
@@ -487,6 +559,7 @@ impl HebbianNetwork {
             // are uniform in [0, 2^24), exactly the Q24 grid.
             (self.rng.next_u32() >> 8) < scale.raw()
         };
+        let ops_before_update = ops;
         if apply {
             let (step, ltd) = if scale.at_least_one() {
                 (
@@ -533,6 +606,8 @@ impl HebbianNetwork {
                     ops += self.layer2.anti_update(c as u32, &winner_set, ltd);
                 }
             }
+            self.stats.weight_updates += 1;
+            self.stats.update_ops += (ops - ops_before_update) as u64;
         }
         self.advance_recurrent(pattern, &winners);
         HebbianOutcome {

@@ -2,7 +2,7 @@
 //!
 //! | id    | rule             | scope                                  |
 //! |-------|------------------|----------------------------------------|
-//! | HNP01 | `determinism`    | core, hebbian, memsim, systems         |
+//! | HNP01 | `determinism`    | core, hebbian, memsim, obs, systems    |
 //! | HNP02 | `layering`       | every workspace crate                  |
 //! | HNP03 | `panic_hygiene`  | library crates, outside `#[cfg(test)]` |
 //! | HNP04 | `integer_purity` | hebbian, outside `#[cfg(test)]`        |
@@ -80,7 +80,13 @@ pub struct Finding {
 }
 
 /// Crates whose runtime state must be bit-reproducible (HNP01).
-pub const DETERMINISM_CRATES: &[&str] = &["hnp-core", "hnp-hebbian", "hnp-memsim", "hnp-systems"];
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "hnp-core",
+    "hnp-hebbian",
+    "hnp-memsim",
+    "hnp-obs",
+    "hnp-systems",
+];
 
 /// Library crates held to panic hygiene (HNP03). Binaries (`hnp-cli`,
 /// `hnp-bench`, `hnp-lint`) may abort on operator error.
@@ -88,6 +94,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "hnp-nn",
     "hnp-hebbian",
     "hnp-trace",
+    "hnp-obs",
     "hnp-memsim",
     "hnp-core",
     "hnp-systems",
@@ -100,13 +107,16 @@ pub const INTEGER_PURE_CRATES: &[&str] = &["hnp-hebbian"];
 
 /// The layered architecture (HNP02): a crate may depend only on
 /// crates of a strictly lower layer. Leaves first:
-/// `trace/nn/hebbian/lint → memsim → core/baselines → systems →
-/// bench/cli`.
+/// `trace/nn/hebbian/lint/obs → memsim → core/baselines → systems →
+/// bench/cli`. (`hnp-obs` is a leaf so every layer above it can emit
+/// events; `hnp-hebbian` shares its layer and therefore stays
+/// observer-free — its stats surface through getters instead.)
 pub const LAYERS: &[(&str, u32)] = &[
     ("hnp-trace", 0),
     ("hnp-nn", 0),
     ("hnp-hebbian", 0),
     ("hnp-lint", 0),
+    ("hnp-obs", 0),
     ("hnp-memsim", 1),
     ("hnp-core", 2),
     ("hnp-baselines", 2),
@@ -281,7 +291,7 @@ pub fn check_manifest(krate: &CrateInfo, out: &mut Vec<Finding>) {
                 file: manifest.clone(),
                 line: 0,
                 message: format!(
-                    "back-edge: `{}` (layer {me}) declares {kind} `{dep}` (layer {them}); the DAG is trace/nn/hebbian/lint → memsim → core/baselines → systems → bench/cli",
+                    "back-edge: `{}` (layer {me}) declares {kind} `{dep}` (layer {them}); the DAG is trace/nn/hebbian/lint/obs → memsim → core/baselines → systems → bench/cli",
                     krate.name
                 ),
                 suppressed: false,

@@ -13,6 +13,12 @@
 //!   window shared by the learned prefetchers;
 //! * [`sim`] — the driver loop and metrics (misses removed, accuracy,
 //!   coverage, timeliness, pollution).
+//!
+//! The driver emits a typed `hnp_obs::Event` at every decision point
+//! into the registry configured via
+//! [`SimConfig::with_observer`](sim::SimConfig::with_observer); the
+//! report itself is derived from that event stream, and an empty
+//! registry keeps runs bit-identical to unobserved ones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +32,7 @@ pub mod sim;
 
 pub use deltas::{DeltaVocab, MissHistory};
 pub use evict::EvictionPolicy;
+pub use prefetcher::PrefetchFeedback;
 pub use prefetcher::{DemuxPrefetcher, MissEvent, NoPrefetcher, Prefetcher};
 pub use resilient::{HealthState, ResilienceStats, ResilientConfig, ResilientPrefetcher};
 pub use sim::{SimConfig, SimReport, Simulator};

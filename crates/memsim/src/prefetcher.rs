@@ -5,6 +5,14 @@
 //! candidate pages to fetch ahead of demand. Feedback callbacks carry
 //! the simulator's accounting so that learned prefetchers can track
 //! their own accuracy/confidence (§5.1, §5.5).
+//!
+//! Since the observability redesign, simulators notify prefetchers
+//! through the single [`Prefetcher::on_event`] dispatch point; the
+//! per-channel hooks (`on_hit`/`on_feedback`/`on_fault`) remain the
+//! implementation surface and are routed to by the default
+//! `on_event`.
+
+use hnp_obs::{Event, FeedbackKind};
 
 /// A demand miss delivered to the prefetcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +85,34 @@ pub trait Prefetcher {
     fn on_fault(&mut self, _tick: u64) {
         self.reset_state();
     }
+
+    /// The unified notification entry point: simulators deliver every
+    /// observable occurrence through this one dispatch method instead
+    /// of calling the per-channel hooks at scattered sites. The
+    /// default routes [`Event::Hit`], [`Event::Feedback`], and
+    /// [`Event::Fault`] to the legacy hooks and ignores everything
+    /// else, so existing implementations keep working unchanged.
+    fn on_event(&mut self, ev: &Event) {
+        match *ev {
+            Event::Hit { tick, page } => self.on_hit(page, tick),
+            Event::Feedback {
+                page,
+                kind,
+                remaining,
+                ..
+            } => {
+                let fb = match kind {
+                    FeedbackKind::Useful => PrefetchFeedback::Useful { page },
+                    FeedbackKind::Late => PrefetchFeedback::Late { page, remaining },
+                    FeedbackKind::Unused => PrefetchFeedback::Unused { page },
+                    FeedbackKind::Cancelled => PrefetchFeedback::Cancelled { page },
+                };
+                self.on_feedback(&fb);
+            }
+            Event::Fault { tick, .. } => self.on_fault(tick),
+            _ => {}
+        }
+    }
 }
 
 /// Boxed prefetchers forward the trait, so wrappers generic over
@@ -105,6 +141,10 @@ impl Prefetcher for Box<dyn Prefetcher> {
 
     fn on_fault(&mut self, tick: u64) {
         (**self).on_fault(tick)
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        (**self).on_event(ev)
     }
 }
 

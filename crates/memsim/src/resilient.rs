@@ -27,6 +27,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use hnp_obs::{Event, Registry};
 use serde::Serialize;
 
 use crate::prefetcher::{MissEvent, PrefetchFeedback, Prefetcher};
@@ -60,6 +61,9 @@ pub struct ResilientConfig {
     pub probe_period: usize,
     /// Cap on remembered issued-page attributions.
     pub track_limit: usize,
+    /// Observer registry ladder transitions are emitted into
+    /// ([`Event::Degradation`]). Empty by default.
+    pub obs: Registry,
 }
 
 impl Default for ResilientConfig {
@@ -77,7 +81,35 @@ impl Default for ResilientConfig {
             disabled_cooldown: 64,
             probe_period: 16,
             track_limit: 4096,
+            obs: Registry::default(),
         }
+    }
+}
+
+impl ResilientConfig {
+    /// Sets the outcome-window length.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the feedback count between watchdog evaluations.
+    pub fn with_eval_period(mut self, period: usize) -> Self {
+        self.eval_period = period;
+        self
+    }
+
+    /// Sets the consecutive good evaluations required to recover.
+    pub fn with_hysteresis(mut self, evals: u32) -> Self {
+        self.hysteresis = evals;
+        self
+    }
+
+    /// Attaches an observer registry; ladder transitions are emitted
+    /// as [`Event::Degradation`].
+    pub fn with_observer(mut self, obs: Registry) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -278,6 +310,11 @@ impl<P: Prefetcher> ResilientPrefetcher<P> {
         if to == self.state {
             return;
         }
+        self.cfg.obs.emit(&Event::Degradation {
+            at: self.feedback_seen as u64,
+            from: self.state.label(),
+            to: to.label(),
+        });
         self.state = to;
         self.stats.transitions += 1;
         self.good_evals = 0;

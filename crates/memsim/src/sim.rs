@@ -20,11 +20,12 @@ use std::collections::BTreeMap;
 
 use serde::Serialize;
 
+use hnp_obs::{Event, FeedbackKind, Registry};
 use hnp_trace::Trace;
 
 use crate::evict::EvictionPolicy;
 use crate::memory::LocalMemory;
-use crate::prefetcher::{MissEvent, PrefetchFeedback, Prefetcher};
+use crate::prefetcher::{MissEvent, Prefetcher};
 
 /// Simulator parameters.
 #[derive(Debug, Clone)]
@@ -48,6 +49,11 @@ pub struct SimConfig {
     pub max_inflight: usize,
     /// Maximum prefetches accepted per miss (prefetch width cap).
     pub max_issue_per_miss: usize,
+    /// Observer registry the run emits events into. Empty by default;
+    /// an empty registry is a near-free no-op and keeps the run
+    /// bit-identical to an unobserved one (determinism contract,
+    /// hnp-obs crate docs).
+    pub obs: Registry,
 }
 
 impl Default for SimConfig {
@@ -60,23 +66,79 @@ impl Default for SimConfig {
             inference_latency: 0,
             max_inflight: 16,
             max_issue_per_miss: 4,
+            obs: Registry::default(),
         }
     }
 }
 
 impl SimConfig {
+    /// Sets the local-memory capacity in pages.
+    pub fn with_capacity_pages(mut self, pages: usize) -> Self {
+        self.capacity_pages = pages;
+        self
+    }
+
+    /// Sets the eviction policy.
+    pub fn with_eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction = policy;
+        self
+    }
+
+    /// Sets the full-miss stall latency.
+    pub fn with_miss_latency(mut self, ticks: u64) -> Self {
+        self.miss_latency = ticks;
+        self
+    }
+
+    /// Sets the prefetch arrival latency.
+    pub fn with_prefetch_latency(mut self, ticks: u64) -> Self {
+        self.prefetch_latency = ticks;
+        self
+    }
+
+    /// Sets the model-inference latency added before issue.
+    pub fn with_inference_latency(mut self, ticks: u64) -> Self {
+        self.inference_latency = ticks;
+        self
+    }
+
+    /// Sets the outstanding-prefetch cap.
+    pub fn with_max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n;
+        self
+    }
+
+    /// Sets the per-miss issue-width cap.
+    pub fn with_max_issue_per_miss(mut self, n: usize) -> Self {
+        self.max_issue_per_miss = n;
+        self
+    }
+
+    /// Attaches an observer registry; the run emits an [`Event`] at
+    /// every decision point into it.
+    pub fn with_observer(mut self, obs: Registry) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Sizes the memory at `fraction` of `trace`'s footprint (at least
     /// one page), as in the paper's "memory sized at 50 % of the
     /// trace's footprint".
-    pub fn sized_for(trace: &Trace, fraction: f64, mut self_: SimConfig) -> SimConfig {
+    pub fn sized_to(mut self, trace: &Trace, fraction: f64) -> Self {
         let pages = ((trace.footprint_pages() as f64 * fraction) as usize).max(1);
-        self_.capacity_pages = pages;
-        self_
+        self.capacity_pages = pages;
+        self
+    }
+
+    /// Positional-form shim for [`sized_to`](Self::sized_to).
+    #[deprecated(since = "0.1.0", note = "use `cfg.sized_to(trace, fraction)`")]
+    pub fn sized_for(trace: &Trace, fraction: f64, self_: SimConfig) -> SimConfig {
+        self_.sized_to(trace, fraction)
     }
 }
 
 /// Counters and derived metrics from one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct SimReport {
     /// Prefetcher name.
     pub prefetcher: String,
@@ -141,6 +203,37 @@ impl SimReport {
             0.0
         } else {
             self.total_ticks as f64 / self.accesses as f64
+        }
+    }
+
+    /// Folds one event into the counters. The report is *derived from
+    /// the event stream*: the run loop emits events and this is the
+    /// only place they become numbers, so any observer aggregating the
+    /// same stream (e.g. `hnp_obs::Counters`) reproduces the report
+    /// exactly.
+    fn apply(&mut self, ev: &Event) {
+        match *ev {
+            Event::Hit { .. } => {
+                self.accesses += 1;
+                self.hits += 1;
+            }
+            Event::Miss { late, .. } => {
+                self.accesses += 1;
+                if late {
+                    self.late_prefetch_hits += 1;
+                } else {
+                    self.full_misses += 1;
+                }
+            }
+            Event::PrefetchIssued { .. } => self.prefetches_issued += 1,
+            Event::PrefetchDropped { .. } => self.prefetches_dropped += 1,
+            Event::Feedback { kind, .. } => match kind {
+                FeedbackKind::Useful => self.prefetches_useful += 1,
+                FeedbackKind::Unused => self.prefetches_unused += 1,
+                FeedbackKind::Late | FeedbackKind::Cancelled => {}
+            },
+            Event::RunEnd { ticks, .. } => self.total_ticks = ticks,
+            _ => {}
         }
     }
 }
@@ -210,6 +303,7 @@ impl Simulator {
         let shift = trace.page_shift();
         let mut marks = Vec::with_capacity(checkpoints.len());
         let mut next_checkpoint = 0usize;
+        let obs = &self.cfg.obs;
         for access in trace.accesses() {
             while next_checkpoint < checkpoints.len()
                 && report.accesses >= checkpoints[next_checkpoint]
@@ -219,7 +313,6 @@ impl Simulator {
             }
             let page = access.page(shift);
             now += 1;
-            report.accesses += 1;
             // Land arrived prefetches. BTreeMap iterates in page
             // order, so arrival order cannot leak hash randomness
             // into eviction order — determinism.
@@ -231,7 +324,15 @@ impl Simulator {
                     .collect();
                 for p in arrived {
                     inflight.remove(&p);
-                    Self::insert_accounting(&mut memory, &mut report, prefetcher, p, true, now);
+                    Self::insert_accounting(
+                        obs,
+                        &mut memory,
+                        &mut report,
+                        prefetcher,
+                        p,
+                        true,
+                        now,
+                    );
                 }
             }
             // Demand path.
@@ -241,31 +342,70 @@ impl Simulator {
                     .map(|m| m.prefetched && !m.touched)
                     .unwrap_or(false);
                 memory.touch(page);
-                report.hits += 1;
                 if first_touch_of_prefetch {
-                    report.prefetches_useful += 1;
-                    prefetcher.on_feedback(&PrefetchFeedback::Useful { page });
+                    dispatch(
+                        obs,
+                        &mut report,
+                        prefetcher,
+                        Event::Feedback {
+                            tick: now,
+                            page,
+                            kind: FeedbackKind::Useful,
+                            remaining: 0,
+                        },
+                    );
                 }
-                prefetcher.on_hit(page, now);
+                dispatch(obs, &mut report, prefetcher, Event::Hit { tick: now, page });
                 continue;
             }
             if let Some(&arrival) = inflight.get(&page) {
                 // Late prefetch: wait out the remainder.
                 let remaining = arrival.saturating_sub(now);
+                let miss_tick = now;
                 now += remaining;
                 inflight.remove(&page);
-                report.late_prefetch_hits += 1;
-                prefetcher.on_feedback(&PrefetchFeedback::Late { page, remaining });
-                Self::insert_accounting(&mut memory, &mut report, prefetcher, page, true, now);
+                dispatch(
+                    obs,
+                    &mut report,
+                    prefetcher,
+                    Event::Miss {
+                        tick: miss_tick,
+                        page,
+                        late: true,
+                        stall: remaining,
+                    },
+                );
+                dispatch(
+                    obs,
+                    &mut report,
+                    prefetcher,
+                    Event::Feedback {
+                        tick: miss_tick,
+                        page,
+                        kind: FeedbackKind::Late,
+                        remaining,
+                    },
+                );
+                Self::insert_accounting(obs, &mut memory, &mut report, prefetcher, page, true, now);
                 memory.touch(page);
                 continue;
             }
             // Full miss. The prefetcher is consulted at miss start so
             // its requests travel concurrently with the demand fetch.
-            report.full_misses += 1;
             let miss_start = now;
             now += self.cfg.miss_latency;
-            Self::insert_accounting(&mut memory, &mut report, prefetcher, page, false, now);
+            dispatch(
+                obs,
+                &mut report,
+                prefetcher,
+                Event::Miss {
+                    tick: miss_start,
+                    page,
+                    late: false,
+                    stall: self.cfg.miss_latency,
+                },
+            );
+            Self::insert_accounting(obs, &mut memory, &mut report, prefetcher, page, false, now);
             memory.touch(page);
             let miss = MissEvent {
                 page,
@@ -283,11 +423,28 @@ impl Simulator {
                     continue;
                 }
                 if inflight.len() >= self.cfg.max_inflight {
-                    report.prefetches_dropped += 1;
+                    dispatch(
+                        obs,
+                        &mut report,
+                        prefetcher,
+                        Event::PrefetchDropped {
+                            tick: miss_start,
+                            page: cand,
+                        },
+                    );
                     continue;
                 }
                 inflight.insert(cand, arrival);
-                report.prefetches_issued += 1;
+                dispatch(
+                    obs,
+                    &mut report,
+                    prefetcher,
+                    Event::PrefetchIssued {
+                        tick: miss_start,
+                        page: cand,
+                        arrival,
+                    },
+                );
                 accepted += 1;
             }
         }
@@ -295,12 +452,19 @@ impl Simulator {
             marks.push(report.full_misses + report.late_prefetch_hits);
             next_checkpoint += 1;
         }
-        report.total_ticks = now;
+        let end = Event::RunEnd {
+            ticks: now,
+            accesses: report.accesses as u64,
+            hits: report.hits as u64,
+            misses: (report.full_misses + report.late_prefetch_hits) as u64,
+        };
+        dispatch(obs, &mut report, prefetcher, end);
         (report, marks)
     }
 
     /// Inserts a page, accounting for pollution on eviction.
     fn insert_accounting(
+        obs: &Registry,
         memory: &mut LocalMemory,
         report: &mut SimReport,
         prefetcher: &mut dyn Prefetcher,
@@ -310,11 +474,29 @@ impl Simulator {
     ) {
         if let Some((victim, meta)) = memory.insert(page, prefetched, now) {
             if meta.prefetched && !meta.touched {
-                report.prefetches_unused += 1;
-                prefetcher.on_feedback(&PrefetchFeedback::Unused { page: victim });
+                dispatch(
+                    obs,
+                    report,
+                    prefetcher,
+                    Event::Feedback {
+                        tick: now,
+                        page: victim,
+                        kind: FeedbackKind::Unused,
+                        remaining: 0,
+                    },
+                );
             }
         }
     }
+}
+
+/// The single event dispatch point: fold the event into the report,
+/// notify the prefetcher, fan out to observers — in that order, for
+/// every event the run produces.
+fn dispatch(obs: &Registry, report: &mut SimReport, prefetcher: &mut dyn Prefetcher, ev: Event) {
+    report.apply(&ev);
+    prefetcher.on_event(&ev);
+    obs.emit(&ev);
 }
 
 #[cfg(test)]
@@ -455,8 +637,11 @@ mod tests {
     #[test]
     fn capacity_sizing_helper_uses_footprint() {
         let t = stride_trace();
-        let cfg = SimConfig::sized_for(&t, 0.5, SimConfig::default());
+        let cfg = SimConfig::default().sized_to(&t, 0.5);
         assert_eq!(cfg.capacity_pages, t.footprint_pages() / 2);
+        #[allow(deprecated)]
+        let shim = SimConfig::sized_for(&t, 0.5, SimConfig::default());
+        assert_eq!(shim.capacity_pages, cfg.capacity_pages);
     }
 
     #[test]

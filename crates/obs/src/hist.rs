@@ -1,0 +1,228 @@
+//! Fixed-bucket integer histograms.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::Event;
+use crate::observer::Observer;
+
+/// Which event field a [`Histogram`] samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Stall ticks per miss ([`Event::Miss`]`::stall`).
+    MissStall,
+    /// Residual wait of late feedback ([`Event::Feedback`]`::remaining`,
+    /// `Late` outcomes only).
+    FeedbackRemaining,
+    /// Prefetch lead time ([`Event::PrefetchIssued`]:
+    /// `arrival - tick`).
+    PrefetchLead,
+    /// Episodes per replay batch ([`Event::ReplayStep`]`::replayed`).
+    ReplayBatch,
+}
+
+impl Metric {
+    /// Stable name for report headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::MissStall => "miss_stall",
+            Metric::FeedbackRemaining => "feedback_remaining",
+            Metric::PrefetchLead => "prefetch_lead",
+            Metric::ReplayBatch => "replay_batch",
+        }
+    }
+
+    fn sample(self, ev: &Event) -> Option<u64> {
+        match (self, ev) {
+            (Metric::MissStall, Event::Miss { stall, .. }) => Some(*stall),
+            (
+                Metric::FeedbackRemaining,
+                Event::Feedback {
+                    kind, remaining, ..
+                },
+            ) if kind.label() == "late" => Some(*remaining),
+            (Metric::PrefetchLead, Event::PrefetchIssued { tick, arrival, .. }) => {
+                Some(arrival.saturating_sub(*tick))
+            }
+            (Metric::ReplayBatch, Event::ReplayStep { replayed, .. }) => Some(*replayed),
+            _ => None,
+        }
+    }
+}
+
+struct HistInner {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+/// A fixed-bucket histogram over one integer [`Metric`].
+///
+/// Bucket `i` counts samples `v < bounds[i]` (first matching bound);
+/// a final overflow bucket catches the rest. Bounds are integers,
+/// chosen at construction — no floating point anywhere (HNP04-clean
+/// by construction).
+///
+/// Like [`Counters`](crate::Counters), the sink is a cloneable handle.
+#[derive(Clone)]
+pub struct Histogram {
+    metric: Metric,
+    inner: Rc<RefCell<HistInner>>,
+}
+
+impl Histogram {
+    /// A histogram over `metric` with the given strictly-increasing
+    /// upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing
+    /// (construction-time contract; never fires mid-run).
+    pub fn new(metric: Metric, bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Self {
+            metric,
+            inner: Rc::new(RefCell::new(HistInner {
+                bounds,
+                counts,
+                total: 0,
+                sum: 0,
+            })),
+        }
+    }
+
+    /// Power-of-two bounds up to `2^log2_max` — a serviceable default
+    /// for latency-shaped metrics.
+    pub fn exponential(metric: Metric, log2_max: u32) -> Self {
+        Self::new(metric, (0..=log2_max).map(|i| 1u64 << i).collect())
+    }
+
+    /// The sampled metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// `(upper_bound, count)` pairs; the final pair uses `u64::MAX` as
+    /// its bound (overflow bucket).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.inner
+            .try_borrow()
+            .map(|h| {
+                h.bounds
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(u64::MAX))
+                    .zip(h.counts.iter().copied())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of samples observed.
+    pub fn total(&self) -> u64 {
+        self.inner.try_borrow().map(|h| h.total).unwrap_or(0)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.inner.try_borrow().map(|h| h.sum).unwrap_or(0)
+    }
+
+    /// Mean sample in thousandths (integer fixed-point).
+    pub fn mean_milli(&self) -> u64 {
+        self.sum()
+            .saturating_mul(1000)
+            .checked_div(self.total())
+            .unwrap_or(0)
+    }
+
+    /// Records one sample directly (exporting components that do not
+    /// go through an event stream may feed histograms by hand).
+    pub fn observe(&self, v: u64) {
+        if let Ok(mut h) = self.inner.try_borrow_mut() {
+            let idx = h
+                .bounds
+                .iter()
+                .position(|&b| v < b)
+                .unwrap_or(h.bounds.len());
+            h.counts[idx] += 1;
+            h.total += 1;
+            h.sum = h.sum.saturating_add(v);
+        }
+    }
+}
+
+impl Observer for Histogram {
+    fn on_event(&mut self, ev: &Event) {
+        if let Some(v) = self.metric.sample(ev) {
+            self.observe(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FeedbackKind;
+
+    #[test]
+    fn buckets_partition_samples() {
+        let h = Histogram::new(Metric::MissStall, vec![10, 100]);
+        for v in [0, 9, 10, 99, 100, 5000] {
+            h.observe(v);
+        }
+        let b = h.buckets();
+        assert_eq!(b, vec![(10, 2), (100, 2), (u64::MAX, 2)]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.sum(), 5218);
+        assert_eq!(h.mean_milli(), 5218 * 1000 / 6);
+    }
+
+    #[test]
+    fn samples_only_its_metric() {
+        let mut h = Histogram::exponential(Metric::FeedbackRemaining, 8);
+        h.on_event(&Event::Miss {
+            tick: 0,
+            page: 0,
+            late: false,
+            stall: 100,
+        });
+        assert_eq!(h.total(), 0, "miss stall is not this metric");
+        h.on_event(&Event::Feedback {
+            tick: 0,
+            page: 0,
+            kind: FeedbackKind::Late,
+            remaining: 17,
+        });
+        h.on_event(&Event::Feedback {
+            tick: 0,
+            page: 0,
+            kind: FeedbackKind::Useful,
+            remaining: 0,
+        });
+        assert_eq!(h.total(), 1, "only Late feedback carries the metric");
+    }
+
+    #[test]
+    fn prefetch_lead_is_arrival_minus_tick() {
+        let mut h = Histogram::new(Metric::PrefetchLead, vec![50]);
+        h.on_event(&Event::PrefetchIssued {
+            tick: 10,
+            page: 1,
+            arrival: 40,
+        });
+        assert_eq!(h.sum(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_bounds_rejected() {
+        let _ = Histogram::new(Metric::MissStall, vec![10, 10]);
+    }
+}

@@ -1,0 +1,125 @@
+//! The observer trait and fan-out registry.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::Event;
+
+/// A read-only tap on the event stream.
+///
+/// Implementations must not feed anything back into the emitting
+/// component — the determinism contract (crate docs) depends on it.
+pub trait Observer {
+    /// Receives one event. Called synchronously at the emission site.
+    fn on_event(&mut self, ev: &Event);
+}
+
+/// A cloneable, shared fan-out of [`Observer`]s.
+///
+/// Cloning is shallow (an `Rc` bump), so a simulator config and the
+/// prefetcher it drives can hold handles to the same registry and
+/// interleave their events into one stream. The default registry is
+/// empty and [`emit`](Registry::emit) on it is a near-free no-op —
+/// simulators emit unconditionally.
+///
+/// Everything in the workspace is single-threaded by design
+/// (determinism), so `Rc<RefCell<..>>` suffices; re-entrant emission
+/// from inside an observer is silently dropped rather than panicking.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Rc<RefCell<Vec<Box<dyn Observer>>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observer to the fan-out.
+    pub fn attach(&self, obs: impl Observer + 'static) {
+        if let Ok(mut v) = self.inner.try_borrow_mut() {
+            v.push(Box::new(obs));
+        }
+    }
+
+    /// Number of attached observers.
+    pub fn len(&self) -> usize {
+        self.inner.try_borrow().map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// True when nothing is attached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fans `ev` out to every observer, in attachment order.
+    pub fn emit(&self, ev: &Event) {
+        if let Ok(mut v) = self.inner.try_borrow_mut() {
+            for obs in v.iter_mut() {
+                obs.on_event(ev);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Registry({} observers)", self.len())
+    }
+}
+
+/// Registries compare by identity: two handles are equal when they
+/// share the same fan-out. (Configs deriving `PartialEq` stay usable.)
+impl PartialEq for Registry {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    struct Count(Rc<RefCell<u64>>);
+    impl Observer for Count {
+        fn on_event(&mut self, _ev: &Event) {
+            *self.0.borrow_mut() += 1;
+        }
+    }
+
+    #[test]
+    fn emit_fans_out_to_all_observers() {
+        let reg = Registry::new();
+        let a = Rc::new(RefCell::new(0));
+        let b = Rc::new(RefCell::new(0));
+        reg.attach(Count(a.clone()));
+        reg.attach(Count(b.clone()));
+        assert_eq!(reg.len(), 2);
+        reg.emit(&Event::Hit { tick: 1, page: 2 });
+        reg.emit(&Event::Hit { tick: 2, page: 3 });
+        assert_eq!(*a.borrow(), 2);
+        assert_eq!(*b.borrow(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_fanout() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        let n = Rc::new(RefCell::new(0));
+        clone.attach(Count(n.clone()));
+        assert!(!reg.is_empty());
+        reg.emit(&Event::Hit { tick: 0, page: 0 });
+        assert_eq!(*n.borrow(), 1);
+        assert_eq!(reg, clone);
+        assert_ne!(reg, Registry::new());
+    }
+
+    #[test]
+    fn empty_registry_is_a_noop() {
+        let reg = Registry::default();
+        assert!(reg.is_empty());
+        reg.emit(&Event::Hit { tick: 0, page: 0 });
+    }
+}

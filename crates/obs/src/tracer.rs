@@ -1,0 +1,89 @@
+//! The ring-buffer event tracer: the last N events, cheaply.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::event::Event;
+use crate::observer::Observer;
+
+struct RingInner {
+    cap: usize,
+    buf: VecDeque<Event>,
+    seen: u64,
+}
+
+/// Keeps the most recent `capacity` events — the "flight recorder"
+/// for post-mortem inspection of a run's tail without the memory cost
+/// of a full trace. A cloneable handle like the other sinks.
+#[derive(Clone)]
+pub struct RingTracer {
+    inner: Rc<RefCell<RingInner>>,
+}
+
+impl RingTracer {
+    /// A tracer holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        Self {
+            inner: Rc::new(RefCell::new(RingInner {
+                cap,
+                buf: VecDeque::with_capacity(cap),
+                seen: 0,
+            })),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .try_borrow()
+            .map(|r| r.buf.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total events observed (including evicted ones).
+    pub fn seen(&self) -> u64 {
+        self.inner.try_borrow().map(|r| r.seen).unwrap_or(0)
+    }
+}
+
+impl Observer for RingTracer {
+    fn on_event(&mut self, ev: &Event) {
+        if let Ok(mut r) = self.inner.try_borrow_mut() {
+            if r.buf.len() == r.cap {
+                r.buf.pop_front();
+            }
+            r.buf.push_back(ev.clone());
+            r.seen += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_tail() {
+        let t = RingTracer::new(3);
+        let mut sink = t.clone();
+        for i in 0..10u64 {
+            sink.on_event(&Event::Hit { tick: i, page: i });
+        }
+        assert_eq!(t.seen(), 10);
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0], Event::Hit { tick: 7, page: 7 });
+        assert_eq!(evs[2], Event::Hit { tick: 9, page: 9 });
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let t = RingTracer::new(0);
+        let mut sink = t.clone();
+        sink.on_event(&Event::Hit { tick: 1, page: 1 });
+        sink.on_event(&Event::Hit { tick: 2, page: 2 });
+        assert_eq!(t.events(), vec![Event::Hit { tick: 2, page: 2 }]);
+    }
+}

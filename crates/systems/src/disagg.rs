@@ -18,11 +18,23 @@
 use serde::Serialize;
 
 use hnp_memsim::memory::LocalMemory;
-use hnp_memsim::prefetcher::{MissEvent, PrefetchFeedback, Prefetcher};
+use hnp_memsim::prefetcher::{MissEvent, Prefetcher};
 use hnp_memsim::EvictionPolicy;
+use hnp_obs::{Event, FaultKind as ObsFaultKind, FeedbackKind, Registry};
 use hnp_trace::Trace;
 
 use crate::fault::FaultInjector;
+
+/// The single prefetcher notification point: every occurrence the
+/// prefetcher is entitled to see goes through here as a typed event,
+/// mirrored into the observer registry. Observer-only events (misses,
+/// issue decisions, non-crash faults) are emitted straight into the
+/// registry and never reach the prefetcher, preserving the legacy
+/// callback surface exactly.
+fn notify(obs: &Registry, prefetcher: &mut dyn Prefetcher, ev: Event) {
+    prefetcher.on_event(&ev);
+    obs.emit(&ev);
+}
 
 /// Cluster parameters.
 #[derive(Debug, Clone)]
@@ -56,6 +68,10 @@ pub struct DisaggConfig {
     /// Extra stall charged when demand-fetch retries are exhausted
     /// (the recovery path — the fetch then completes out-of-band).
     pub timeout_penalty: u64,
+    /// Observer registry; every decision point in the run emits a
+    /// typed event into it. An empty registry keeps the run
+    /// bit-identical to an unobserved one.
+    pub obs: Registry,
 }
 
 impl Default for DisaggConfig {
@@ -71,7 +87,52 @@ impl Default for DisaggConfig {
             retry_backoff_cap: 400,
             max_retries: 4,
             timeout_penalty: 500,
+            obs: Registry::new(),
         }
+    }
+}
+
+impl DisaggConfig {
+    /// Sets the per-node local-memory capacity fraction.
+    pub fn with_local_capacity_frac(mut self, frac: f64) -> Self {
+        self.local_capacity_frac = frac;
+        self
+    }
+
+    /// Sets the one-way network latency in ticks.
+    pub fn with_link_latency(mut self, ticks: u64) -> Self {
+        self.link_latency = ticks;
+        self
+    }
+
+    /// Sets the per-node in-flight prefetch cap.
+    pub fn with_max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n;
+        self
+    }
+
+    /// Sets the per-miss prefetch issue cap.
+    pub fn with_max_issue_per_miss(mut self, n: usize) -> Self {
+        self.max_issue_per_miss = n;
+        self
+    }
+
+    /// Sets the shared-switch slot budget (`0` = uncontended).
+    pub fn with_shared_link_slots(mut self, slots: usize) -> Self {
+        self.shared_link_slots = slots;
+        self
+    }
+
+    /// Sets the per-queued-transfer contention penalty.
+    pub fn with_contention_penalty(mut self, ticks: u64) -> Self {
+        self.contention_penalty = ticks;
+        self
+    }
+
+    /// Attaches an observer registry to the cluster run.
+    pub fn with_observer(mut self, obs: Registry) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -283,6 +344,7 @@ impl DisaggregatedCluster {
                 }
             })
             .collect();
+        let obs = &self.cfg.obs;
         let mut now: u64 = 0;
         loop {
             let mut all_done = true;
@@ -302,6 +364,7 @@ impl DisaggregatedCluster {
                 }
                 all_done = false;
                 let pf_idx = if shared { 0 } else { i };
+                let pf: &mut dyn Prefetcher = &mut *prefetchers[pf_idx];
                 // Crash/restart: flush local memory, cancel in-flight
                 // prefetches, reset the prefetcher's transient state,
                 // and hold the node down until the event ends.
@@ -309,10 +372,27 @@ impl DisaggregatedCluster {
                     node.report.restarts += 1;
                     node.report.prefetches_cancelled += node.inflight.len() + node.doomed.len();
                     for (page, _) in node.inflight.drain(..).chain(node.doomed.drain(..)) {
-                        prefetchers[pf_idx].on_feedback(&PrefetchFeedback::Cancelled { page });
+                        notify(
+                            obs,
+                            pf,
+                            Event::Feedback {
+                                tick: now,
+                                page,
+                                kind: FeedbackKind::Cancelled,
+                                remaining: 0,
+                            },
+                        );
                     }
                     node.memory.flush();
-                    prefetchers[pf_idx].on_fault(now);
+                    notify(
+                        obs,
+                        pf,
+                        Event::Fault {
+                            tick: now,
+                            domain: i as u64,
+                            kind: ObsFaultKind::Crash,
+                        },
+                    );
                     node.busy_until = node.busy_until.max(restart);
                 }
                 if node.busy_until > now {
@@ -320,13 +400,21 @@ impl DisaggregatedCluster {
                 }
                 // Land arrived prefetches (sorted for determinism).
                 node.inflight.sort_unstable();
-                let pf = pf_idx;
                 let mut rest = Vec::new();
                 for &(page, arrival) in &node.inflight {
                     if arrival <= now {
                         if let Some((_, meta)) = node.memory.insert(page, true, now) {
                             if meta.prefetched && !meta.touched {
-                                prefetchers[pf].on_feedback(&PrefetchFeedback::Unused { page });
+                                notify(
+                                    obs,
+                                    pf,
+                                    Event::Feedback {
+                                        tick: now,
+                                        page,
+                                        kind: FeedbackKind::Unused,
+                                        remaining: 0,
+                                    },
+                                );
                             }
                         }
                     } else {
@@ -341,7 +429,16 @@ impl DisaggregatedCluster {
                 for &(page, arrival) in &node.doomed {
                     if arrival <= now {
                         node.report.prefetches_cancelled += 1;
-                        prefetchers[pf].on_feedback(&PrefetchFeedback::Cancelled { page });
+                        notify(
+                            obs,
+                            pf,
+                            Event::Feedback {
+                                tick: now,
+                                page,
+                                kind: FeedbackKind::Cancelled,
+                                remaining: 0,
+                            },
+                        );
                     } else {
                         rest.push((page, arrival));
                     }
@@ -361,8 +458,18 @@ impl DisaggregatedCluster {
                     node.memory.touch(page);
                     if fresh {
                         node.report.prefetches_useful += 1;
-                        prefetchers[pf].on_feedback(&PrefetchFeedback::Useful { page });
+                        notify(
+                            obs,
+                            pf,
+                            Event::Feedback {
+                                tick: now,
+                                page,
+                                kind: FeedbackKind::Useful,
+                                remaining: 0,
+                            },
+                        );
                     }
+                    obs.emit(&Event::Hit { tick: now, page });
                     continue;
                 }
                 // Fault: one page at a time, node stalls for the link.
@@ -378,8 +485,16 @@ impl DisaggregatedCluster {
                         // keep the legacy accounting (no feedback) so
                         // they stay bit-identical to pre-fault output.
                         if !injector.is_idle() && remaining > 0 {
-                            prefetchers[pf]
-                                .on_feedback(&PrefetchFeedback::Late { page, remaining });
+                            notify(
+                                obs,
+                                pf,
+                                Event::Feedback {
+                                    tick: now,
+                                    page,
+                                    kind: FeedbackKind::Late,
+                                    remaining,
+                                },
+                            );
                         }
                         remaining
                     }
@@ -392,7 +507,16 @@ impl DisaggregatedCluster {
                         if let Some(idx) = node.doomed.iter().position(|&(p, _)| p == page) {
                             let (pg, arrival) = node.doomed.swap_remove(idx);
                             node.report.prefetches_cancelled += 1;
-                            prefetchers[pf].on_feedback(&PrefetchFeedback::Cancelled { page: pg });
+                            notify(
+                                obs,
+                                pf,
+                                Event::Feedback {
+                                    tick: now,
+                                    page: pg,
+                                    kind: FeedbackKind::Cancelled,
+                                    remaining: 0,
+                                },
+                            );
                             total += arrival.saturating_sub(now);
                         }
                         // A fresh remote fetch. Lossy links drop it;
@@ -413,9 +537,19 @@ impl DisaggregatedCluster {
                                 node.report.timeouts += 1;
                                 timed_out = true;
                                 total += self.cfg.timeout_penalty;
+                                obs.emit(&Event::Fault {
+                                    tick: now,
+                                    domain: i as u64,
+                                    kind: ObsFaultKind::Timeout,
+                                });
                                 break;
                             }
                             node.report.retries += 1;
+                            obs.emit(&Event::Fault {
+                                tick: now,
+                                domain: i as u64,
+                                kind: ObsFaultKind::Retry,
+                            });
                             total += (self.cfg.retry_backoff << attempt.min(16))
                                 .min(self.cfg.retry_backoff_cap);
                             attempt += 1;
@@ -433,7 +567,16 @@ impl DisaggregatedCluster {
                 if timed_out {
                     node.report.prefetches_cancelled += node.inflight.len() + node.doomed.len();
                     for (pg, _) in node.inflight.drain(..).chain(node.doomed.drain(..)) {
-                        prefetchers[pf].on_feedback(&PrefetchFeedback::Cancelled { page: pg });
+                        notify(
+                            obs,
+                            pf,
+                            Event::Feedback {
+                                tick: now,
+                                page: pg,
+                                kind: FeedbackKind::Cancelled,
+                                remaining: 0,
+                            },
+                        );
                     }
                 }
                 // Demand fetches queue behind a saturated switch.
@@ -442,6 +585,12 @@ impl DisaggregatedCluster {
                 }
                 occupancy += 1;
                 node.report.stall_ticks += stall;
+                obs.emit(&Event::Miss {
+                    tick: now,
+                    page,
+                    late: in_flight_hit.is_some(),
+                    stall,
+                });
                 node.busy_until = now + stall;
                 node.memory
                     .insert(page, in_flight_hit.is_some(), now + stall);
@@ -452,7 +601,7 @@ impl DisaggregatedCluster {
                     tick: now,
                     stream: i as u16,
                 };
-                let candidates = prefetchers[pf].on_miss(&miss);
+                let candidates = pf.on_miss(&miss);
                 let mut accepted = 0;
                 for cand in candidates {
                     if accepted >= self.cfg.max_issue_per_miss {
@@ -475,6 +624,10 @@ impl DisaggregatedCluster {
                             arrival += self.cfg.contention_penalty * (occupancy + 1 - slots) as u64;
                         } else {
                             node.report.prefetches_dropped += 1;
+                            obs.emit(&Event::PrefetchDropped {
+                                tick: now,
+                                page: cand,
+                            });
                             continue;
                         }
                     }
@@ -486,12 +639,22 @@ impl DisaggregatedCluster {
                     // (hnp_memsim::resilient reacts to these).
                     if injector.transfer_dropped(now) {
                         node.doomed.push((cand, arrival));
+                        obs.emit(&Event::Fault {
+                            tick: now,
+                            domain: i as u64,
+                            kind: ObsFaultKind::Drop,
+                        });
                         occupancy += 1;
                         accepted += 1;
                         continue;
                     }
                     node.inflight.push((cand, arrival));
                     node.report.prefetches_issued += 1;
+                    obs.emit(&Event::PrefetchIssued {
+                        tick: now,
+                        page: cand,
+                        arrival,
+                    });
                     occupancy += 1;
                     accepted += 1;
                 }
@@ -501,6 +664,14 @@ impl DisaggregatedCluster {
             }
             now += 1;
         }
+        let accesses: u64 = nodes.iter().map(|n| n.report.accesses as u64).sum();
+        let misses: u64 = nodes.iter().map(|n| n.report.misses as u64).sum();
+        obs.emit(&Event::RunEnd {
+            ticks: now,
+            accesses,
+            hits: accesses - misses,
+            misses,
+        });
         DisaggReport {
             placement: label.to_string(),
             nodes: nodes.into_iter().map(|n| n.report).collect(),

@@ -13,11 +13,20 @@
 use serde::Serialize;
 
 use hnp_memsim::memory::LocalMemory;
-use hnp_memsim::prefetcher::{MissEvent, PrefetchFeedback, Prefetcher};
+use hnp_memsim::prefetcher::{MissEvent, Prefetcher};
 use hnp_memsim::EvictionPolicy;
+use hnp_obs::{Event, FaultKind as ObsFaultKind, FeedbackKind, Registry};
 use hnp_trace::Trace;
 
 use crate::fault::FaultInjector;
+
+/// The single prefetcher notification point (see `disagg::notify`):
+/// prefetcher-visible occurrences are dispatched as typed events and
+/// mirrored into the observer registry.
+fn notify(obs: &Registry, prefetcher: &mut dyn Prefetcher, ev: Event) {
+    prefetcher.on_event(&ev);
+    obs.emit(&ev);
+}
 
 /// UVM simulator parameters.
 #[derive(Debug, Clone)]
@@ -45,6 +54,10 @@ pub struct UvmConfig {
     /// Extra stall charged when migration retries are exhausted (the
     /// recovery path — the batch then completes out-of-band).
     pub timeout_penalty: u64,
+    /// Observer registry; every decision point in the run emits a
+    /// typed event into it. An empty registry keeps the run
+    /// bit-identical to an unobserved one.
+    pub obs: Registry,
 }
 
 impl Default for UvmConfig {
@@ -59,7 +72,46 @@ impl Default for UvmConfig {
             retry_backoff_cap: 800,
             max_retries: 4,
             timeout_penalty: 1000,
+            obs: Registry::new(),
         }
+    }
+}
+
+impl UvmConfig {
+    /// Sets GPU-memory capacity as a fraction of the footprint.
+    pub fn with_capacity_frac(mut self, frac: f64) -> Self {
+        self.capacity_frac = frac;
+        self
+    }
+
+    /// Sets the base fault-batch migration latency in ticks.
+    pub fn with_fault_latency(mut self, ticks: u64) -> Self {
+        self.fault_latency = ticks;
+        self
+    }
+
+    /// Sets the per-page PCIe serialization cost.
+    pub fn with_per_page_latency(mut self, ticks: u64) -> Self {
+        self.per_page_latency = ticks;
+        self
+    }
+
+    /// Sets the in-flight prefetched-page cap.
+    pub fn with_max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n;
+        self
+    }
+
+    /// Sets the per-fault prefetch issue cap.
+    pub fn with_max_issue_per_fault(mut self, n: usize) -> Self {
+        self.max_issue_per_fault = n;
+        self
+    }
+
+    /// Attaches an observer registry to the run.
+    pub fn with_observer(mut self, obs: Registry) -> Self {
+        self.obs = obs;
+        self
     }
 }
 
@@ -188,6 +240,8 @@ impl UvmSim {
             restarts: 0,
             total_ticks: 0,
         };
+        let obs = &self.cfg.obs;
+        let mut demand_misses: u64 = 0;
         loop {
             // Device reset: the GPU is a single failure domain, so any
             // crash event flushes memory, cancels all in-flight
@@ -197,10 +251,27 @@ impl UvmSim {
                 report.restarts += 1;
                 report.prefetches_cancelled += inflight.len();
                 for (page, _) in inflight.drain(..) {
-                    prefetcher.on_feedback(&PrefetchFeedback::Cancelled { page });
+                    notify(
+                        obs,
+                        prefetcher,
+                        Event::Feedback {
+                            tick: now,
+                            page,
+                            kind: FeedbackKind::Cancelled,
+                            remaining: 0,
+                        },
+                    );
                 }
                 memory.flush();
-                prefetcher.on_fault(now);
+                notify(
+                    obs,
+                    prefetcher,
+                    Event::Fault {
+                        tick: now,
+                        domain: 0,
+                        kind: ObsFaultKind::Crash,
+                    },
+                );
                 now = now.max(restart);
             }
             // Land arrived prefetches.
@@ -234,8 +305,18 @@ impl UvmSim {
                     memory.touch(page);
                     if fresh {
                         report.prefetches_useful += 1;
-                        prefetcher.on_feedback(&PrefetchFeedback::Useful { page });
+                        notify(
+                            obs,
+                            prefetcher,
+                            Event::Feedback {
+                                tick: now,
+                                page,
+                                kind: FeedbackKind::Useful,
+                                remaining: 0,
+                            },
+                        );
                     }
+                    obs.emit(&Event::Hit { tick: now, page });
                     cursors[w] += 1;
                 } else {
                     faults.push((w, page));
@@ -276,6 +357,11 @@ impl UvmSim {
                 if attempt >= self.cfg.max_retries {
                     report.timeouts += 1;
                     service += self.cfg.timeout_penalty;
+                    obs.emit(&Event::Fault {
+                        tick: now,
+                        domain: 0,
+                        kind: ObsFaultKind::Timeout,
+                    });
                     // The recovery path tears down and re-establishes
                     // the interconnect: every outstanding prefetch
                     // migration dies with it. The cancellations are
@@ -283,11 +369,25 @@ impl UvmSim {
                     // reset stays below its horizon.
                     report.prefetches_cancelled += inflight.len();
                     for (pg, _) in inflight.drain(..) {
-                        prefetcher.on_feedback(&PrefetchFeedback::Cancelled { page: pg });
+                        notify(
+                            obs,
+                            prefetcher,
+                            Event::Feedback {
+                                tick: now,
+                                page: pg,
+                                kind: FeedbackKind::Cancelled,
+                                remaining: 0,
+                            },
+                        );
                     }
                     break;
                 }
                 report.retries += 1;
+                obs.emit(&Event::Fault {
+                    tick: now,
+                    domain: 0,
+                    kind: ObsFaultKind::Retry,
+                });
                 service +=
                     (self.cfg.retry_backoff << attempt.min(16)).min(self.cfg.retry_backoff_cap);
                 attempt += 1;
@@ -297,6 +397,13 @@ impl UvmSim {
             // migration.
             let arrival = now + service;
             for &(w, page) in &faults {
+                demand_misses += 1;
+                obs.emit(&Event::Miss {
+                    tick: now,
+                    page,
+                    late: false,
+                    stall: service,
+                });
                 // Deduplicate: only the first warp faulting a page
                 // reports it (the driver coalesces duplicate faults).
                 if !batch_pages.contains(&page) {
@@ -325,11 +432,30 @@ impl UvmSim {
                     // off (hnp_memsim::resilient reacts to these).
                     if injector.transfer_dropped(now) {
                         report.prefetches_cancelled += 1;
-                        prefetcher.on_feedback(&PrefetchFeedback::Cancelled { page: cand });
+                        obs.emit(&Event::Fault {
+                            tick: now,
+                            domain: 0,
+                            kind: ObsFaultKind::Drop,
+                        });
+                        notify(
+                            obs,
+                            prefetcher,
+                            Event::Feedback {
+                                tick: now,
+                                page: cand,
+                                kind: FeedbackKind::Cancelled,
+                                remaining: 0,
+                            },
+                        );
                         continue;
                     }
                     inflight.push((cand, arrival));
                     report.prefetches_issued += 1;
+                    obs.emit(&Event::PrefetchIssued {
+                        tick: now,
+                        page: cand,
+                        arrival,
+                    });
                     accepted += 1;
                 }
                 memory.insert(page, false, arrival);
@@ -338,6 +464,12 @@ impl UvmSim {
             now += service;
         }
         report.total_ticks = now;
+        obs.emit(&Event::RunEnd {
+            ticks: now,
+            accesses: report.accesses as u64,
+            hits: report.accesses as u64 - demand_misses,
+            misses: demand_misses,
+        });
         report
     }
 }

@@ -13,7 +13,7 @@
 
 use proptest::prelude::*;
 
-use hnp_baselines::StridePrefetcher;
+use hnp_baselines::{StrideConfig, StridePrefetcher};
 use hnp_core::{ClsConfig, ClsPrefetcher};
 use hnp_memsim::{Prefetcher, ResilientPrefetcher};
 use hnp_systems::{
@@ -144,8 +144,8 @@ proptest! {
             .map(|i| AppWorkload::FIG5[i as usize].generate(accesses, 60 + i).with_stream(i as u16))
             .collect();
         let sim = UvmSim::new(UvmConfig::default());
-        let mut a: Box<dyn Prefetcher> = Box::new(StridePrefetcher::new(2, 2));
-        let mut b: Box<dyn Prefetcher> = Box::new(StridePrefetcher::new(2, 2));
+        let mut a: Box<dyn Prefetcher> = Box::new(StridePrefetcher::with_config(StrideConfig::default().with_degree(2)));
+        let mut b: Box<dyn Prefetcher> = Box::new(StridePrefetcher::with_config(StrideConfig::default().with_degree(2)));
         if resilient {
             a = Box::new(ResilientPrefetcher::new(a));
             b = Box::new(ResilientPrefetcher::new(b));

@@ -29,7 +29,7 @@ fn run(trace: &Trace, sim: &Simulator, base: &SimReport, label: &str, cfg: ClsCo
 
 fn main() {
     let trace = AppWorkload::McfLike.generate(80_000, 9);
-    let sim = Simulator::new(SimConfig::sized_for(&trace, 0.5, SimConfig::default()));
+    let sim = Simulator::new(SimConfig::default().sized_to(&trace, 0.5));
     let base = sim.run(&trace, &mut NoPrefetcher);
     println!(
         "mcf-like workload: {} accesses, baseline miss rate {:.1}%",

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hnp::baselines::StridePrefetcher;
+use hnp::baselines::{StrideConfig, StridePrefetcher};
 use hnp::core::{ClsConfig, ClsPrefetcher};
 use hnp::memsim::{NoPrefetcher, SimConfig, Simulator};
 use hnp::traces::apps::AppWorkload;
@@ -21,7 +21,7 @@ fn main() {
     );
 
     // 2. Memory sized at 50 % of the footprint, as in the paper.
-    let sim = Simulator::new(SimConfig::sized_for(&trace, 0.5, SimConfig::default()));
+    let sim = Simulator::new(SimConfig::default().sized_to(&trace, 0.5));
 
     // 3. Baseline: no prefetching.
     let base = sim.run(&trace, &mut NoPrefetcher);
@@ -32,7 +32,7 @@ fn main() {
     );
 
     // 4. A classical stride prefetcher...
-    let mut stride = StridePrefetcher::new(2, 4);
+    let mut stride = StridePrefetcher::with_config(StrideConfig::default());
     let s = sim.run(&trace, &mut stride);
     println!(
         "stride:      removed {:5.1}% of misses (accuracy {:.2})",

@@ -2,14 +2,17 @@
 //! prefetcher pipeline, exercised through the umbrella crate's public
 //! API exactly as a downstream user would.
 
-use hnp::baselines::{LstmPrefetcher, LstmPrefetcherConfig, MarkovPrefetcher, StridePrefetcher};
+use hnp::baselines::{
+    LstmPrefetcher, LstmPrefetcherConfig, MarkovConfig, MarkovPrefetcher, StrideConfig,
+    StridePrefetcher,
+};
 use hnp::core::{ClsConfig, ClsPrefetcher};
 use hnp::memsim::{NoPrefetcher, SimConfig, Simulator};
 use hnp::traces::apps::AppWorkload;
 use hnp::traces::{phased, Pattern};
 
 fn sim_for(trace: &hnp::traces::Trace) -> Simulator {
-    Simulator::new(SimConfig::sized_for(trace, 0.5, SimConfig::default()))
+    Simulator::new(SimConfig::default().sized_to(trace, 0.5))
 }
 
 #[test]
@@ -59,7 +62,10 @@ fn region_alternating_patterns_are_the_53_limitation_but_gating_prevents_harm() 
     );
     // A page-correlation model (Markov) is immune to the encoding
     // limit and must do clearly better.
-    let markov = sim.run(&trace, &mut MarkovPrefetcher::new(4096, 2));
+    let markov = sim.run(
+        &trace,
+        &mut MarkovPrefetcher::with_config(MarkovConfig::default()),
+    );
     assert!(
         markov.pct_misses_removed(&base) > removed + 20.0,
         "markov {:.1}% vs delta-model {removed:.1}%",
@@ -77,7 +83,10 @@ fn learned_prefetchers_handle_pattern_mixes_that_defeat_stride() {
     );
     let sim = sim_for(&trace);
     let base = sim.run(&trace, &mut NoPrefetcher);
-    let stride = sim.run(&trace, &mut StridePrefetcher::new(2, 4));
+    let stride = sim.run(
+        &trace,
+        &mut StridePrefetcher::with_config(StrideConfig::default()),
+    );
     let mut cls = ClsPrefetcher::new(ClsConfig::default());
     let cls_rep = sim.run(&trace, &mut cls);
     assert!(
@@ -131,7 +140,10 @@ fn markov_and_cls_agree_on_access_conservation() {
     let sim = sim_for(&trace);
     for rep in [
         sim.run(&trace, &mut NoPrefetcher),
-        sim.run(&trace, &mut MarkovPrefetcher::new(1024, 2)),
+        sim.run(
+            &trace,
+            &mut MarkovPrefetcher::with_config(MarkovConfig::default().with_capacity(1024)),
+        ),
         sim.run(&trace, &mut ClsPrefetcher::new(ClsConfig::default())),
     ] {
         assert_eq!(
