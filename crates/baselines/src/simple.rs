@@ -36,19 +36,6 @@ pub struct NextNPrefetcher {
 }
 
 impl NextNPrefetcher {
-    /// Creates a next-`n`-line prefetcher.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n == 0`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use NextNPrefetcher::with_config(NextNConfig)"
-    )]
-    pub fn new(n: usize) -> Self {
-        Self::with_config(NextNConfig { degree: n })
-    }
-
     /// Creates a next-`n`-line prefetcher from `cfg`.
     ///
     /// # Panics
@@ -117,20 +104,6 @@ impl StrideConfig {
 }
 
 impl StridePrefetcher {
-    /// Creates a stride prefetcher that confirms a stride `threshold`
-    /// times before issuing `degree` prefetches ahead.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `degree == 0`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use StridePrefetcher::with_config(StrideConfig)"
-    )]
-    pub fn new(threshold: u32, degree: usize) -> Self {
-        Self::with_config(StrideConfig { threshold, degree })
-    }
-
     /// Creates a stride prefetcher from `cfg`.
     ///
     /// # Panics
@@ -231,23 +204,6 @@ impl MarkovConfig {
 }
 
 impl MarkovPrefetcher {
-    /// Creates a Markov prefetcher with a `capacity`-entry table and
-    /// `successors` predictions per page.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity == 0` or `successors == 0`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use MarkovPrefetcher::with_config(MarkovConfig)"
-    )]
-    pub fn new(capacity: usize, successors: usize) -> Self {
-        Self::with_config(MarkovConfig {
-            capacity,
-            successors,
-        })
-    }
-
     /// Creates a Markov prefetcher from `cfg`.
     ///
     /// # Panics
@@ -426,27 +382,6 @@ mod tests {
             stride.pct_misses_removed(&base)
         );
         assert!(markov.pct_misses_removed(&base) > 30.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_positional_shims_match_config_constructors() {
-        let mk = |page| MissEvent {
-            page,
-            tick: 0,
-            stream: 0,
-        };
-        let mut old_stride = StridePrefetcher::new(2, 4);
-        let mut new_stride = StridePrefetcher::with_config(StrideConfig::default());
-        let mut old_markov = MarkovPrefetcher::new(4096, 2);
-        let mut new_markov = MarkovPrefetcher::with_config(MarkovConfig::default());
-        let mut old_nextn = NextNPrefetcher::new(4);
-        let mut new_nextn = NextNPrefetcher::with_config(NextNConfig::default());
-        for page in [10u64, 12, 14, 16, 18, 10, 12] {
-            assert_eq!(old_stride.on_miss(&mk(page)), new_stride.on_miss(&mk(page)));
-            assert_eq!(old_markov.on_miss(&mk(page)), new_markov.on_miss(&mk(page)));
-            assert_eq!(old_nextn.on_miss(&mk(page)), new_nextn.on_miss(&mk(page)));
-        }
     }
 
     #[test]

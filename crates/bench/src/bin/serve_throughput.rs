@@ -1,0 +1,143 @@
+//! Serving-engine scaling study (DESIGN.md §11).
+//!
+//! Runs the same multi-tenant request stream through `hnp-serve` at
+//! increasing worker-thread counts, verifying the determinism
+//! contract (bit-identical report and snapshot archive at every
+//! count) while measuring wall-clock epochs/sec. The interesting
+//! number is the 1→4-thread speedup on a ≥32-tenant mix: the epoch
+//! barrier costs something, so scaling is sublinear, but batching
+//! per shard must keep it comfortably above 1×.
+//!
+//! Usage: `cargo run --release -p hnp-bench --bin serve_throughput
+//! [tenants] [accesses_per_tenant]`
+
+use serde::Serialize;
+
+use hnp_bench::output;
+use hnp_serve::{
+    synthesize, ModelKind, PrefetcherFactory, ServeConfig, ServeEngine, TenantRegistry, TenantSpec,
+};
+use hnp_trace::apps::AppWorkload;
+
+#[derive(Serialize)]
+struct Row {
+    threads: usize,
+    epochs: u64,
+    processed: u64,
+    shed: u64,
+    snapshots: u64,
+    wall_ms: f64,
+    epochs_per_sec: f64,
+    requests_per_sec: f64,
+    speedup_vs_1: f64,
+    deterministic: bool,
+}
+
+const MIX: [ModelKind; 5] = [
+    ModelKind::Hebbian,
+    ModelKind::Cls,
+    ModelKind::Stride,
+    ModelKind::Markov,
+    ModelKind::NextN,
+];
+const LOADS: [AppWorkload; 5] = [
+    AppWorkload::McfLike,
+    AppWorkload::TensorFlowLike,
+    AppWorkload::PageRankLike,
+    AppWorkload::Graph500Like,
+    AppWorkload::KvStoreLike,
+];
+
+fn registry(tenants: u64) -> TenantRegistry {
+    let mut reg = TenantRegistry::new();
+    for id in 0..tenants {
+        reg.register(TenantSpec {
+            id,
+            model: MIX[(id % MIX.len() as u64) as usize],
+            workload: LOADS[(id % LOADS.len() as u64) as usize],
+            seed: 7000 + id,
+        });
+    }
+    reg
+}
+
+fn main() {
+    let tenants = output::arg_or(1, "HNP_TENANTS", 32) as u64;
+    let accesses = output::arg_or(2, "HNP_ACCESSES", 400);
+    let reg = registry(tenants);
+    let requests = synthesize(&reg, accesses, 11);
+    output::header(&format!(
+        "serving engine scaling: {tenants} tenants x {accesses} accesses, 16 shards, snapshots every 8 epochs"
+    ));
+    println!(
+        "{:<8} {:>8} {:>10} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "threads", "epochs", "processed", "shed", "wall ms", "epochs/s", "reqs/s", "speedup"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    let mut reference: Option<hnp_serve::ServeOutcome> = None;
+    let mut base_secs = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = ServeConfig {
+            shards: 16,
+            workers: threads,
+            queue_depth: 128,
+            flush_per_shard: 32,
+            snapshot_interval: 8,
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::new(cfg, registry(tenants), PrefetcherFactory::new());
+        // One warm-up pass, then the timed pass (the engine rebuilds
+        // all tenant models per run, so runs are independent).
+        let _ = engine.run(&requests);
+        let t0 = std::time::Instant::now();
+        let out = engine.run(&requests);
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        if threads == 1 {
+            base_secs = secs;
+        }
+        let deterministic = match &reference {
+            None => true,
+            Some(first) => out.report == first.report && out.archive == first.archive,
+        };
+        println!(
+            "{:<8} {:>8} {:>10} {:>8} {:>10.1} {:>10.1} {:>10.0} {:>7.2}x",
+            threads,
+            out.report.epochs,
+            out.report.processed,
+            out.report.shed,
+            secs * 1e3,
+            out.report.epochs as f64 / secs,
+            out.report.processed as f64 / secs,
+            base_secs / secs
+        );
+        rows.push(Row {
+            threads,
+            epochs: out.report.epochs,
+            processed: out.report.processed,
+            shed: out.report.shed,
+            snapshots: out.report.snapshots,
+            wall_ms: secs * 1e3,
+            epochs_per_sec: out.report.epochs as f64 / secs,
+            requests_per_sec: out.report.processed as f64 / secs,
+            speedup_vs_1: base_secs / secs,
+            deterministic,
+        });
+        if reference.is_none() {
+            reference = Some(out);
+        }
+    }
+    let all_deterministic = rows.iter().all(|r| r.deterministic);
+    println!(
+        "determinism contract: {}",
+        if all_deterministic {
+            "bit-identical outcome at every thread count"
+        } else {
+            "VIOLATED — outcomes diverged across thread counts"
+        }
+    );
+    output::write_json("serve_throughput", &rows);
+    assert!(
+        all_deterministic,
+        "serving engine outcome depends on thread count"
+    );
+}

@@ -19,6 +19,7 @@
 //! | `ablate_encoding` | §5.3 |
 //! | `ablate_replay` | §5.4 |
 //! | `availability` | §5.5 |
+//! | `serve_throughput` | serving-engine scaling (DESIGN.md §11) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

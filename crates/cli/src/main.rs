@@ -12,6 +12,8 @@
 //! hnpctl faults     --workload pagerank --schedule lossy:5000:40000:0.5 \
 //!                   [--target disagg|uvm] [--resilient true]
 //! hnpctl lint       [--root DIR] [--json FILE] [--quiet true]
+//! hnpctl serve-bench [--tenants 32] [--accesses 200] [--threads 1,2,4]
+//!                   [--shards 8] [--obs events.jsonl] [--snapshot-dir DIR]
 //! ```
 //!
 //! Workloads: `tensorflow`, `pagerank`, `mcf`, `graph500`, `kv-store`,
@@ -35,6 +37,9 @@ use hnp_core::{ClsConfig, ClsPrefetcher};
 use hnp_lint as lint;
 use hnp_memsim::{NoPrefetcher, Prefetcher, ResilientPrefetcher, SimConfig, Simulator};
 use hnp_obs::{jsonl_kind, jsonl_u64, Counters, Histogram, JsonlExporter, Metric, Registry};
+use hnp_serve::{
+    synthesize, ModelKind, PrefetcherFactory, ServeConfig, ServeEngine, TenantRegistry, TenantSpec,
+};
 use hnp_systems::{
     DisaggConfig, DisaggregatedCluster, FaultInjector, FaultSchedule, UvmConfig, UvmSim,
 };
@@ -43,7 +48,7 @@ use hnp_trace::stats::TraceStats;
 use hnp_trace::{io, Pattern, Trace};
 
 const USAGE: &str =
-    "usage: hnpctl <trace-gen|trace-stats|run|stats|compare|patterns|faults|lint> [--key value ...]
+    "usage: hnpctl <trace-gen|trace-stats|run|stats|compare|patterns|faults|lint|serve-bench> [--key value ...]
   trace-gen   --workload NAME --accesses N [--seed S] --out FILE
   trace-stats --trace FILE [--csv true]
   run         --trace FILE --prefetcher NAME [--capacity-frac F] [--seed S] [--json true]
@@ -57,7 +62,13 @@ const USAGE: &str =
               [--seed S] [--fault-seed S] [--json true]
               (DSL: comma-separated spike:S:D:EXTRA[:JIT] lossy:S:D:P
                brownout:S:D:SLOTS slow:S:D:F crash:S:D:NODE)
-  lint        [--root DIR] [--json FILE] [--quiet true]";
+  lint        [--root DIR] [--json FILE] [--quiet true]
+  serve-bench [--tenants N] [--accesses N] [--threads LIST] [--shards N]
+              [--queue-depth N] [--batch N] [--snapshot-interval N]
+              [--model mix|NAME] [--crashes E:T,E:T] [--seed S]
+              [--obs FILE] [--snapshot-dir DIR]
+              (multi-tenant serving engine: scaling table + determinism
+               check across thread counts)";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -76,6 +87,7 @@ fn main() -> ExitCode {
         "patterns" => cmd_patterns(&args),
         "faults" => cmd_faults(&args),
         "lint" => cmd_lint(&args),
+        "serve-bench" => cmd_serve_bench(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     };
     match result {
@@ -473,6 +485,179 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
             );
         }
         other => return Err(format!("unknown target {other:?}")),
+    }
+    Ok(())
+}
+
+/// Parses a `--crashes epoch:tenant,epoch:tenant` schedule.
+fn parse_crashes(spec: &str) -> Result<Vec<(u64, u64)>, String> {
+    if spec.is_empty() {
+        return Ok(Vec::new());
+    }
+    spec.split(',')
+        .map(|part| {
+            let (e, t) = part
+                .split_once(':')
+                .ok_or_else(|| format!("--crashes: {part:?} is not epoch:tenant"))?;
+            let epoch = e
+                .trim()
+                .parse()
+                .map_err(|_| format!("--crashes: bad epoch {e:?}"))?;
+            let tenant = t
+                .trim()
+                .parse()
+                .map_err(|_| format!("--crashes: bad tenant {t:?}"))?;
+            Ok((epoch, tenant))
+        })
+        .collect()
+}
+
+/// Benchmarks the multi-tenant serving engine across thread counts,
+/// checking the determinism contract (identical report and snapshot
+/// archive at every count) while measuring wall-clock throughput.
+fn cmd_serve_bench(args: &Args) -> Result<(), String> {
+    let tenants: u64 = args.get_num("tenants", 32)?;
+    if tenants == 0 {
+        return Err("--tenants must be positive".into());
+    }
+    let accesses: usize = args.get_num("accesses", 200)?;
+    let shards: usize = args.get_num("shards", 8)?;
+    let queue_depth: usize = args.get_num("queue-depth", 64)?;
+    let batch: usize = args.get_num("batch", 32)?;
+    let snapshot_interval: u64 = args.get_num("snapshot-interval", 8)?;
+    let seed: u64 = args.get_num("seed", 1)?;
+    let model = args.get("model", "mix");
+    let threads: Vec<usize> = args
+        .get("threads", "1,2,4")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("--threads: cannot parse {s:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if threads.is_empty() {
+        return Err("--threads needs at least one count".into());
+    }
+    let crashes = parse_crashes(args.get("crashes", ""))?;
+
+    const MIX: [ModelKind; 5] = [
+        ModelKind::Hebbian,
+        ModelKind::Cls,
+        ModelKind::Stride,
+        ModelKind::Markov,
+        ModelKind::NextN,
+    ];
+    const LOADS: [AppWorkload; 5] = [
+        AppWorkload::McfLike,
+        AppWorkload::TensorFlowLike,
+        AppWorkload::PageRankLike,
+        AppWorkload::Graph500Like,
+        AppWorkload::KvStoreLike,
+    ];
+    let mut registry = TenantRegistry::new();
+    for id in 0..tenants {
+        let kind = if model == "mix" {
+            MIX[(id % MIX.len() as u64) as usize]
+        } else {
+            ModelKind::parse(model).ok_or_else(|| format!("unknown model {model:?}"))?
+        };
+        registry.register(TenantSpec {
+            id,
+            model: kind,
+            workload: LOADS[(id % LOADS.len() as u64) as usize],
+            seed: seed.wrapping_add(id),
+        });
+    }
+    let requests = synthesize(&registry, accesses, seed);
+    println!(
+        "serving {} requests from {tenants} tenants over {shards} shards (model: {model})",
+        requests.len()
+    );
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "threads", "epochs", "wall ms", "epochs/s", "reqs/s", "speedup"
+    );
+
+    let obs_path = args.get("obs", "");
+    let snap_dir = args.get("snapshot-dir", "");
+    let mut reference: Option<hnp_serve::ServeOutcome> = None;
+    let mut base_secs = 0.0f64;
+    for (i, &workers) in threads.iter().enumerate() {
+        let obs = Registry::new();
+        let exporter = JsonlExporter::new();
+        if i == 0 && !obs_path.is_empty() {
+            obs.attach(exporter.clone());
+        }
+        let cfg = ServeConfig {
+            shards,
+            workers,
+            queue_depth,
+            flush_per_shard: batch,
+            ingest_per_epoch: 0,
+            snapshot_interval,
+            hash_seed: seed ^ 0x5e44e,
+            crashes: crashes.clone(),
+            pred_window: 64,
+            pred_horizon: 256,
+            obs,
+        };
+        let engine = ServeEngine::new(cfg, registry.clone(), PrefetcherFactory::new());
+        let t0 = std::time::Instant::now();
+        let out = engine.run(&requests);
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        if i == 0 {
+            base_secs = secs;
+        }
+        println!(
+            "{:<8} {:>8} {:>10.1} {:>10.1} {:>10.0} {:>7.2}x",
+            workers,
+            out.report.epochs,
+            secs * 1e3,
+            out.report.epochs as f64 / secs,
+            out.report.processed as f64 / secs,
+            base_secs / secs
+        );
+        match &reference {
+            None => {
+                if !obs_path.is_empty() {
+                    std::fs::write(obs_path, exporter.render())
+                        .map_err(|e| format!("cannot write {obs_path}: {e}"))?;
+                    println!("wrote {obs_path}: {} events", exporter.len());
+                }
+                if !snap_dir.is_empty() {
+                    std::fs::create_dir_all(snap_dir)
+                        .map_err(|e| format!("cannot create {snap_dir}: {e}"))?;
+                    for (id, blob) in &out.archive {
+                        let path = format!("{snap_dir}/tenant-{id}.hnpsnap");
+                        std::fs::write(&path, blob)
+                            .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    }
+                    println!("wrote {} snapshot(s) to {snap_dir}/", out.archive.len());
+                }
+                reference = Some(out);
+            }
+            Some(first) => {
+                if out.report != first.report || out.archive != first.archive {
+                    return Err(format!(
+                        "determinism violation: outcome at {workers} threads differs from {} threads",
+                        threads[0]
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(first) = reference {
+        let r = &first.report;
+        println!(
+            "admitted {} / shed {} of {} offered; {} crashes, {} restores, {} snapshots",
+            r.admitted, r.shed, r.offered, r.crashes, r.restores, r.snapshots
+        );
+        println!(
+            "coverage: {:.1}% of processed requests hit the prediction window",
+            r.coverage_milli() as f64 / 10.0
+        );
+        println!("outcome identical across thread counts {threads:?}");
     }
     Ok(())
 }

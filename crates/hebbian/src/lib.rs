@@ -29,4 +29,6 @@ pub mod network;
 pub mod sparse;
 
 pub use lr::LrScale;
-pub use network::{HebbianConfig, HebbianNetwork, HebbianOutcome, HiddenLearning, NetStats};
+pub use network::{
+    HebbianConfig, HebbianNetwork, HebbianOutcome, HiddenLearning, NetState, NetStats, StateError,
+};

@@ -186,6 +186,49 @@ impl NetStats {
     }
 }
 
+/// A capture of everything a [`HebbianNetwork`] learns at runtime:
+/// layer weights, recurrent context, winner trace, counters, and the
+/// RNG key. Integer-only, so downstream serialization (the serving
+/// crate's snapshot codec) stays within the workspace purity rules.
+/// Connectivity is *not* captured — it is reproduced from the config
+/// seed when the receiving network is constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetState {
+    /// Input→hidden weights, flat, output-major (see
+    /// [`SparseLayer::weights`]).
+    pub layer1_weights: Vec<i16>,
+    /// Hidden→output weights, flat, output-major.
+    pub layer2_weights: Vec<i16>,
+    /// Active recurrent bits, ascending.
+    pub recurrent: Vec<u32>,
+    /// Previous step's hidden winner set (k-WTA overlap tracking).
+    pub prev_winners: Vec<u32>,
+    /// Instrumentation counters at capture time.
+    pub stats: NetStats,
+    /// Update-RNG key. Capture re-seeds the live RNG from this same
+    /// key, so original and restored copies share one stream onward.
+    pub rng_key: u64,
+}
+
+/// Why a [`NetState`] could not be imported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateError {
+    /// A weight vector has the wrong length for the layer geometry or
+    /// carries a value beyond the clamp.
+    WeightShape,
+    /// A recurrent bit or winner index is out of range.
+    IndexRange,
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::WeightShape => write!(f, "weight vector does not fit the layer geometry"),
+            StateError::IndexRange => write!(f, "recurrent bit or winner index out of range"),
+        }
+    }
+}
+
 /// The result of one inference or training step.
 #[derive(Debug, Clone)]
 pub struct HebbianOutcome {
@@ -368,6 +411,57 @@ impl HebbianNetwork {
         v.sort_unstable();
         v.dedup();
         self.recurrent = v;
+    }
+
+    /// Captures the complete learned state for snapshotting.
+    ///
+    /// Takes `&mut self` because the private update RNG cannot expose
+    /// its internals: capture draws a fresh key, re-seeds the live RNG
+    /// from that key, and stores the key in the state — so the live
+    /// network and any [`import_state`](Self::import_state)ed copy
+    /// continue from identical RNG streams. Capturing therefore
+    /// perturbs the (already stochastic) update schedule but never the
+    /// learned weights.
+    pub fn export_state(&mut self) -> NetState {
+        let key = self.rng.next_u64();
+        self.rng = StdRng::seed_from_u64(key);
+        NetState {
+            layer1_weights: self.layer1.weights().to_vec(),
+            layer2_weights: self.layer2.weights().to_vec(),
+            recurrent: self.recurrent.clone(),
+            prev_winners: self.prev_winners.clone(),
+            stats: self.stats,
+            rng_key: key,
+        }
+    }
+
+    /// Restores a state captured by
+    /// [`export_state`](Self::export_state) into a network built from
+    /// the same configuration. On error the network is unchanged.
+    pub fn import_state(&mut self, state: &NetState) -> Result<(), StateError> {
+        if !self.layer1.accepts_weights(&state.layer1_weights)
+            || !self.layer2.accepts_weights(&state.layer2_weights)
+        {
+            return Err(StateError::WeightShape);
+        }
+        if state
+            .recurrent
+            .iter()
+            .any(|&b| (b as usize) >= self.cfg.recurrent_bits)
+            || state
+                .prev_winners
+                .iter()
+                .any(|&w| (w as usize) >= self.cfg.hidden)
+        {
+            return Err(StateError::IndexRange);
+        }
+        self.layer1.set_weights(&state.layer1_weights);
+        self.layer2.set_weights(&state.layer2_weights);
+        self.recurrent = state.recurrent.clone();
+        self.prev_winners = state.prev_winners.clone();
+        self.stats = state.stats;
+        self.rng = StdRng::seed_from_u64(state.rng_key);
+        Ok(())
     }
 
     /// Builds the full active-input list for a pattern: pattern bits as
@@ -859,5 +953,49 @@ mod tests {
     fn out_of_range_target_panics() {
         let mut net = HebbianNetwork::new(HebbianConfig::tiny());
         net.train_step(&oh(1), 400);
+    }
+
+    #[test]
+    fn export_import_round_trips_learned_state() {
+        let mut net = HebbianNetwork::new(HebbianConfig::tiny());
+        let cycle = [1usize, 5, 2, 9];
+        for _ in 0..50 {
+            for w in 0..cycle.len() {
+                net.train_step(&oh(cycle[w]), cycle[(w + 1) % cycle.len()]);
+            }
+        }
+        let state = net.export_state();
+        let mut fresh = HebbianNetwork::new(HebbianConfig::tiny());
+        fresh.import_state(&state).expect("same-config import");
+        assert_eq!(fresh.export_state(), net.export_state());
+        // Restored and original continue identically, including the
+        // stochastic scaled-update schedule.
+        for w in 0..cycle.len() {
+            let a = net.train_step_scaled(
+                &oh(cycle[w]),
+                cycle[(w + 1) % 4],
+                LrScale::from_ratio(1, 10),
+            );
+            let b = fresh.train_step_scaled(
+                &oh(cycle[w]),
+                cycle[(w + 1) % 4],
+                LrScale::from_ratio(1, 10),
+            );
+            assert_eq!(a.predicted, b.predicted);
+            assert_eq!(a.ops, b.ops);
+        }
+        assert_eq!(net.recurrent_state(), fresh.recurrent_state());
+    }
+
+    #[test]
+    fn import_rejects_mismatched_geometry() {
+        let mut small = HebbianNetwork::new(HebbianConfig::tiny());
+        let state = small.export_state();
+        let mut big = HebbianNetwork::new(HebbianConfig::paper_table2());
+        assert_eq!(big.import_state(&state), Err(StateError::WeightShape));
+
+        let mut bad = state.clone();
+        bad.recurrent = vec![10_000];
+        assert_eq!(small.import_state(&bad), Err(StateError::IndexRange));
     }
 }

@@ -194,6 +194,33 @@ impl SparseLayer {
         ops
     }
 
+    /// Flat view of every connection weight, grouped by output unit
+    /// (slot `o * fan_in + j`). Connectivity is reproduced from the
+    /// construction seed, so this is the layer's entire learned state;
+    /// pair with [`SparseLayer::set_weights`] for snapshot/restore.
+    pub fn weights(&self) -> &[i16] {
+        &self.weights
+    }
+
+    /// Whether `w` could be installed by
+    /// [`SparseLayer::set_weights`]: right length, every value within
+    /// the clamp.
+    pub fn accepts_weights(&self, w: &[i16]) -> bool {
+        w.len() == self.weights.len() && w.iter().all(|&v| (-self.clamp..=self.clamp).contains(&v))
+    }
+
+    /// Overwrites all connection weights from a flat slice previously
+    /// read via [`SparseLayer::weights`] on an identically-shaped
+    /// layer. Returns `false` — leaving the layer untouched — when
+    /// [`SparseLayer::accepts_weights`] rejects the slice.
+    pub fn set_weights(&mut self, w: &[i16]) -> bool {
+        if !self.accepts_weights(w) {
+            return false;
+        }
+        self.weights.copy_from_slice(w);
+        true
+    }
+
     /// The weight of the connection into `output` from `input`, if the
     /// connection exists.
     pub fn weight(&self, input: u32, output: u32) -> Option<i16> {

@@ -86,6 +86,7 @@ pub const DETERMINISM_CRATES: &[&str] = &[
     "hnp-memsim",
     "hnp-obs",
     "hnp-systems",
+    "hnp-serve",
 ];
 
 /// Library crates held to panic hygiene (HNP03). Binaries (`hnp-cli`,
@@ -99,6 +100,7 @@ pub const LIBRARY_CRATES: &[&str] = &[
     "hnp-core",
     "hnp-systems",
     "hnp-baselines",
+    "hnp-serve",
 ];
 
 /// Crates whose learning/inference arithmetic must be integer-only
@@ -107,8 +109,8 @@ pub const INTEGER_PURE_CRATES: &[&str] = &["hnp-hebbian"];
 
 /// The layered architecture (HNP02): a crate may depend only on
 /// crates of a strictly lower layer. Leaves first:
-/// `trace/nn/hebbian/lint/obs → memsim → core/baselines → systems →
-/// bench/cli`. (`hnp-obs` is a leaf so every layer above it can emit
+/// `trace/nn/hebbian/lint/obs → memsim → core/baselines →
+/// systems/serve → bench/cli`. (`hnp-obs` is a leaf so every layer above it can emit
 /// events; `hnp-hebbian` shares its layer and therefore stays
 /// observer-free — its stats surface through getters instead.)
 pub const LAYERS: &[(&str, u32)] = &[
@@ -121,6 +123,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("hnp-core", 2),
     ("hnp-baselines", 2),
     ("hnp-systems", 3),
+    ("hnp-serve", 3),
     ("hnp-bench", 4),
     ("hnp-cli", 4),
 ];

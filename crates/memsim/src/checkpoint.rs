@@ -1,0 +1,136 @@
+//! Checkpoint scheduling shared by the simulator and the serving
+//! engine.
+//!
+//! Two drivers need "is a checkpoint due at position `p`?" math:
+//! [`Simulator::run_with_checkpoints`](crate::sim::Simulator::run_with_checkpoints)
+//! walks an explicit ascending list of access counts, and the
+//! `hnp-serve` epoch loop snapshots tenants every N epochs. Both go
+//! through [`CheckpointCursor`] so the advance/drain logic exists
+//! exactly once.
+
+/// A monotone cursor over a checkpoint schedule.
+///
+/// Feed it non-decreasing positions via
+/// [`due`](CheckpointCursor::due); it reports how many scheduled
+/// checkpoints fire at each position and never revisits one.
+#[derive(Debug, Clone)]
+pub struct CheckpointCursor {
+    sched: Sched,
+}
+
+#[derive(Debug, Clone)]
+enum Sched {
+    /// Explicit ascending positions, e.g. "mark misses at accesses
+    /// 1000, 2000, 5000".
+    At { points: Vec<u64>, next: usize },
+    /// A fixed cadence: due at `interval`, `2*interval`, … A zero
+    /// interval never fires.
+    Every { interval: u64, next_at: u64 },
+}
+
+impl CheckpointCursor {
+    /// A cursor over an explicit checkpoint list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is not sorted ascending.
+    pub fn at(points: impl IntoIterator<Item = u64>) -> Self {
+        let points: Vec<u64> = points.into_iter().collect();
+        assert!(
+            points.windows(2).all(|w| w[0] <= w[1]),
+            "checkpoints must be sorted"
+        );
+        Self {
+            sched: Sched::At { points, next: 0 },
+        }
+    }
+
+    /// A cursor firing every `interval` positions (first at
+    /// `interval`). `interval == 0` disables the schedule.
+    pub fn every(interval: u64) -> Self {
+        Self {
+            sched: Sched::Every {
+                interval,
+                next_at: interval,
+            },
+        }
+    }
+
+    /// Number of checkpoints that become due at position `pos`,
+    /// advancing past them. Positions must be fed non-decreasing.
+    pub fn due(&mut self, pos: u64) -> usize {
+        match &mut self.sched {
+            Sched::At { points, next } => {
+                let mut fired = 0;
+                while *next < points.len() && pos >= points[*next] {
+                    *next += 1;
+                    fired += 1;
+                }
+                fired
+            }
+            Sched::Every { interval, next_at } => {
+                if *interval == 0 {
+                    return 0;
+                }
+                let mut fired = 0;
+                while pos >= *next_at {
+                    *next_at += *interval;
+                    fired += 1;
+                }
+                fired
+            }
+        }
+    }
+
+    /// Remaining scheduled checkpoints past the end of the run: the
+    /// unvisited tail of an explicit list (an interval schedule has no
+    /// finite tail and drains to zero). Consumes the tail.
+    pub fn drain(&mut self) -> usize {
+        match &mut self.sched {
+            Sched::At { points, next } => {
+                let rest = points.len() - *next;
+                *next = points.len();
+                rest
+            }
+            Sched::Every { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_list_fires_in_order_and_drains() {
+        let mut c = CheckpointCursor::at([10, 10, 25]);
+        assert_eq!(c.due(5), 0);
+        assert_eq!(c.due(10), 2, "duplicate checkpoints both fire");
+        assert_eq!(c.due(11), 0);
+        assert_eq!(c.drain(), 1, "unreached tail drains at end of run");
+        assert_eq!(c.drain(), 0);
+    }
+
+    #[test]
+    fn interval_fires_every_n_and_catches_up() {
+        let mut c = CheckpointCursor::every(4);
+        assert_eq!(c.due(3), 0);
+        assert_eq!(c.due(4), 1);
+        assert_eq!(c.due(5), 0);
+        assert_eq!(c.due(12), 2, "skipped positions fire retroactively");
+        assert_eq!(c.drain(), 0);
+    }
+
+    #[test]
+    fn zero_interval_never_fires() {
+        let mut c = CheckpointCursor::every(0);
+        assert_eq!(c.due(1_000_000), 0);
+        assert_eq!(c.drain(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoints must be sorted")]
+    fn unsorted_list_panics() {
+        let _ = CheckpointCursor::at([5, 3]);
+    }
+}

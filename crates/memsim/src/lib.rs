@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod deltas;
 pub mod evict;
 pub mod memory;
@@ -30,6 +31,7 @@ pub mod prefetcher;
 pub mod resilient;
 pub mod sim;
 
+pub use checkpoint::CheckpointCursor;
 pub use deltas::{DeltaVocab, MissHistory};
 pub use evict::EvictionPolicy;
 pub use prefetcher::PrefetchFeedback;

@@ -306,6 +306,14 @@ impl<P: Prefetcher> ResilientPrefetcher<P> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped prefetcher — the serving layer's
+    /// snapshot/restore path reaches the model state through this.
+    /// Health accounting is untouched; callers mutating model state
+    /// should leave the feedback stream to the wrapper.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
     fn transition(&mut self, to: HealthState) {
         if to == self.state {
             return;

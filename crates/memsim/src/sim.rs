@@ -23,6 +23,7 @@ use serde::Serialize;
 use hnp_obs::{Event, FeedbackKind, Registry};
 use hnp_trace::Trace;
 
+use crate::checkpoint::CheckpointCursor;
 use crate::evict::EvictionPolicy;
 use crate::memory::LocalMemory;
 use crate::prefetcher::{MissEvent, Prefetcher};
@@ -128,12 +129,6 @@ impl SimConfig {
         let pages = ((trace.footprint_pages() as f64 * fraction) as usize).max(1);
         self.capacity_pages = pages;
         self
-    }
-
-    /// Positional-form shim for [`sized_to`](Self::sized_to).
-    #[deprecated(since = "0.1.0", note = "use `cfg.sized_to(trace, fraction)`")]
-    pub fn sized_for(trace: &Trace, fraction: f64, self_: SimConfig) -> SimConfig {
-        self_.sized_to(trace, fraction)
     }
 }
 
@@ -280,10 +275,7 @@ impl Simulator {
         prefetcher: &mut dyn Prefetcher,
         checkpoints: &[usize],
     ) -> (SimReport, Vec<usize>) {
-        assert!(
-            checkpoints.windows(2).all(|w| w[0] <= w[1]),
-            "checkpoints must be sorted"
-        );
+        let mut cursor = CheckpointCursor::at(checkpoints.iter().map(|&c| c as u64));
         let mut memory = LocalMemory::new(self.cfg.capacity_pages, self.cfg.eviction);
         // In-flight prefetches: page -> arrival tick.
         let mut inflight: BTreeMap<u64, u64> = BTreeMap::new();
@@ -302,14 +294,10 @@ impl Simulator {
         };
         let shift = trace.page_shift();
         let mut marks = Vec::with_capacity(checkpoints.len());
-        let mut next_checkpoint = 0usize;
         let obs = &self.cfg.obs;
         for access in trace.accesses() {
-            while next_checkpoint < checkpoints.len()
-                && report.accesses >= checkpoints[next_checkpoint]
-            {
+            for _ in 0..cursor.due(report.accesses as u64) {
                 marks.push(report.full_misses + report.late_prefetch_hits);
-                next_checkpoint += 1;
             }
             let page = access.page(shift);
             now += 1;
@@ -448,9 +436,8 @@ impl Simulator {
                 accepted += 1;
             }
         }
-        while next_checkpoint < checkpoints.len() {
+        for _ in 0..cursor.drain() {
             marks.push(report.full_misses + report.late_prefetch_hits);
-            next_checkpoint += 1;
         }
         let end = Event::RunEnd {
             ticks: now,
@@ -639,9 +626,6 @@ mod tests {
         let t = stride_trace();
         let cfg = SimConfig::default().sized_to(&t, 0.5);
         assert_eq!(cfg.capacity_pages, t.footprint_pages() / 2);
-        #[allow(deprecated)]
-        let shim = SimConfig::sized_for(&t, 0.5, SimConfig::default());
-        assert_eq!(shim.capacity_pages, cfg.capacity_pages);
     }
 
     #[test]

@@ -180,6 +180,57 @@ pub enum Event {
         /// Demand misses (full + late).
         misses: u64,
     },
+    /// The serving engine admitted a request into a shard queue.
+    ServeEnqueue {
+        /// Serving epoch at which the request arrived.
+        epoch: u64,
+        /// Tenant the request belongs to.
+        tenant: u64,
+        /// Shard the tenant hashes to.
+        shard: u64,
+        /// Queue depth after the enqueue.
+        depth: u64,
+    },
+    /// Admission control shed a request at a full shard queue.
+    ServeShed {
+        /// Serving epoch at which the request arrived.
+        epoch: u64,
+        /// Tenant the request belongs to.
+        tenant: u64,
+        /// Shard whose queue was full.
+        shard: u64,
+    },
+    /// A shard flushed a batch of queued requests to its worker.
+    ServeFlush {
+        /// Serving epoch of the flush.
+        epoch: u64,
+        /// Shard that flushed.
+        shard: u64,
+        /// Requests in the flushed batch.
+        batch: u64,
+    },
+    /// Per-shard close of a serving epoch.
+    ShardEpoch {
+        /// Serving epoch just closed.
+        epoch: u64,
+        /// Shard reporting.
+        shard: u64,
+        /// Requests the shard processed this epoch.
+        processed: u64,
+        /// Requests still queued after the epoch.
+        queued: u64,
+    },
+    /// A tenant model snapshot was taken — or restored on warm-start.
+    Snapshot {
+        /// Serving epoch of the snapshot action.
+        epoch: u64,
+        /// Tenant whose model was captured/restored.
+        tenant: u64,
+        /// Encoded snapshot size in bytes.
+        bytes: u64,
+        /// False for a capture, true for a warm-start restore.
+        restored: bool,
+    },
 }
 
 /// Discriminant of an [`Event`], used for counter keys and filters.
@@ -207,11 +258,21 @@ pub enum EventKind {
     EpochSummary,
     /// [`Event::RunEnd`].
     RunEnd,
+    /// [`Event::ServeEnqueue`].
+    ServeEnqueue,
+    /// [`Event::ServeShed`].
+    ServeShed,
+    /// [`Event::ServeFlush`].
+    ServeFlush,
+    /// [`Event::ShardEpoch`].
+    ShardEpoch,
+    /// [`Event::Snapshot`].
+    Snapshot,
 }
 
 impl EventKind {
     /// Every kind, in taxonomy order.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::Hit,
         EventKind::Miss,
         EventKind::PrefetchIssued,
@@ -223,6 +284,11 @@ impl EventKind {
         EventKind::Degradation,
         EventKind::EpochSummary,
         EventKind::RunEnd,
+        EventKind::ServeEnqueue,
+        EventKind::ServeShed,
+        EventKind::ServeFlush,
+        EventKind::ShardEpoch,
+        EventKind::Snapshot,
     ];
 
     /// Stable snake_case name used in exports and counter keys.
@@ -239,6 +305,11 @@ impl EventKind {
             EventKind::Degradation => "degradation",
             EventKind::EpochSummary => "epoch_summary",
             EventKind::RunEnd => "run_end",
+            EventKind::ServeEnqueue => "serve_enqueue",
+            EventKind::ServeShed => "serve_shed",
+            EventKind::ServeFlush => "serve_flush",
+            EventKind::ShardEpoch => "shard_epoch",
+            EventKind::Snapshot => "snapshot",
         }
     }
 }
@@ -271,6 +342,11 @@ impl Event {
             Event::Degradation { .. } => EventKind::Degradation,
             Event::EpochSummary { .. } => EventKind::EpochSummary,
             Event::RunEnd { .. } => EventKind::RunEnd,
+            Event::ServeEnqueue { .. } => EventKind::ServeEnqueue,
+            Event::ServeShed { .. } => EventKind::ServeShed,
+            Event::ServeFlush { .. } => EventKind::ServeFlush,
+            Event::ShardEpoch { .. } => EventKind::ShardEpoch,
+            Event::Snapshot { .. } => EventKind::Snapshot,
         }
     }
 
@@ -370,6 +446,57 @@ impl Event {
                 ("accesses", Field::U64(accesses)),
                 ("hits", Field::U64(hits)),
                 ("misses", Field::U64(misses)),
+            ],
+            Event::ServeEnqueue {
+                epoch,
+                tenant,
+                shard,
+                depth,
+            } => vec![
+                ("epoch", Field::U64(epoch)),
+                ("tenant", Field::U64(tenant)),
+                ("shard", Field::U64(shard)),
+                ("depth", Field::U64(depth)),
+            ],
+            Event::ServeShed {
+                epoch,
+                tenant,
+                shard,
+            } => vec![
+                ("epoch", Field::U64(epoch)),
+                ("tenant", Field::U64(tenant)),
+                ("shard", Field::U64(shard)),
+            ],
+            Event::ServeFlush {
+                epoch,
+                shard,
+                batch,
+            } => vec![
+                ("epoch", Field::U64(epoch)),
+                ("shard", Field::U64(shard)),
+                ("batch", Field::U64(batch)),
+            ],
+            Event::ShardEpoch {
+                epoch,
+                shard,
+                processed,
+                queued,
+            } => vec![
+                ("epoch", Field::U64(epoch)),
+                ("shard", Field::U64(shard)),
+                ("processed", Field::U64(processed)),
+                ("queued", Field::U64(queued)),
+            ],
+            Event::Snapshot {
+                epoch,
+                tenant,
+                bytes,
+                restored,
+            } => vec![
+                ("epoch", Field::U64(epoch)),
+                ("tenant", Field::U64(tenant)),
+                ("bytes", Field::U64(bytes)),
+                ("restored", Field::Bool(restored)),
             ],
         }
     }

@@ -184,6 +184,15 @@ pub const CSV_COLUMNS: &[&str] = &[
     "accesses",
     "hits",
     "misses",
+    "epoch",
+    "tenant",
+    "shard",
+    "depth",
+    "batch",
+    "processed",
+    "queued",
+    "bytes",
+    "restored",
 ];
 
 /// Renders one event as a CSV row over [`CSV_COLUMNS`] (without the
@@ -344,6 +353,34 @@ mod tests {
                 accesses: 0,
                 hits: 0,
                 misses: 0,
+            },
+            Event::ServeEnqueue {
+                epoch: 0,
+                tenant: 0,
+                shard: 0,
+                depth: 0,
+            },
+            Event::ServeShed {
+                epoch: 0,
+                tenant: 0,
+                shard: 0,
+            },
+            Event::ServeFlush {
+                epoch: 0,
+                shard: 0,
+                batch: 0,
+            },
+            Event::ShardEpoch {
+                epoch: 0,
+                shard: 0,
+                processed: 0,
+                queued: 0,
+            },
+            Event::Snapshot {
+                epoch: 0,
+                tenant: 0,
+                bytes: 0,
+                restored: false,
             },
         ];
         for ev in &samples {

@@ -62,6 +62,34 @@ fn sample_stream() -> Vec<Event> {
             hits: 1500,
             misses: 500,
         },
+        Event::ServeEnqueue {
+            epoch: 11,
+            tenant: 3,
+            shard: 2,
+            depth: 5,
+        },
+        Event::ServeShed {
+            epoch: 12,
+            tenant: 4,
+            shard: 1,
+        },
+        Event::ServeFlush {
+            epoch: 13,
+            shard: 2,
+            batch: 16,
+        },
+        Event::ShardEpoch {
+            epoch: 14,
+            shard: 0,
+            processed: 32,
+            queued: 7,
+        },
+        Event::Snapshot {
+            epoch: 15,
+            tenant: 3,
+            bytes: 40960,
+            restored: true,
+        },
     ]
 }
 

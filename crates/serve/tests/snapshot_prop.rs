@@ -1,0 +1,80 @@
+//! Property tests for the snapshot wire format: encode/decode is a
+//! lossless round trip for arbitrary well-formed state, and `decode`
+//! never panics (or over-reads) on arbitrary bytes.
+
+use hnp_hebbian::{NetState, NetStats};
+use hnp_serve::{decode, encode, ModelKind, SnapshotError};
+use proptest::prelude::*;
+
+fn state_from(
+    l1: Vec<i16>,
+    l2: Vec<i16>,
+    recurrent: Vec<u32>,
+    winners: Vec<u32>,
+    nums: (u64, u64, u64, u64, u64),
+    rng_key: u64,
+) -> NetState {
+    NetState {
+        layer1_weights: l1,
+        layer2_weights: l2,
+        recurrent,
+        prev_winners: winners,
+        stats: NetStats {
+            steps: nums.0,
+            overlap_sum: nums.1,
+            winner_slots: nums.2,
+            weight_updates: nums.3,
+            update_ops: nums.4,
+        },
+        rng_key,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_is_lossless(
+        tenant in any::<u64>(),
+        tag in 0u8..7,
+        l1 in prop::collection::vec(any::<i16>(), 0..200),
+        l2 in prop::collection::vec(any::<i16>(), 0..200),
+        recurrent in prop::collection::vec(any::<u32>(), 0..64),
+        winners in prop::collection::vec(any::<u32>(), 0..32),
+        nums in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        rng_key in any::<u64>(),
+    ) {
+        let kind = ModelKind::from_tag(tag).expect("tags 0..7 are all valid");
+        let state = state_from(l1, l2, recurrent, winners, nums, rng_key);
+        let blob = encode(tenant, kind, &state);
+        let snap = decode(&blob).expect("encoded blobs always decode");
+        prop_assert_eq!(snap.tenant, tenant);
+        prop_assert_eq!(snap.kind, kind);
+        prop_assert_eq!(snap.state, state);
+    }
+
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Any outcome is fine; panicking or over-reading is not.
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn truncation_is_always_detected(
+        tenant in any::<u64>(),
+        l1 in prop::collection::vec(any::<i16>(), 0..64),
+        l2 in prop::collection::vec(any::<i16>(), 0..64),
+        recurrent in prop::collection::vec(any::<u32>(), 0..16),
+        winners in prop::collection::vec(any::<u32>(), 0..8),
+    ) {
+        let state = state_from(l1, l2, recurrent, winners, (1, 2, 3, 4, 5), 6);
+        let blob = encode(tenant, ModelKind::Cls, &state);
+        // Section lengths are explicit, so every strict prefix is
+        // detectably incomplete — never a silent partial decode.
+        for cut in 0..blob.len() {
+            prop_assert_eq!(decode(&blob[..cut]), Err(SnapshotError::Truncated));
+        }
+    }
+}

@@ -26,7 +26,7 @@
 //!
 //! // A pointer-chasing workload, memory at 50 % of its footprint.
 //! let trace = Pattern::PointerChase.generate(4_000, 7);
-//! let sim = Simulator::new(SimConfig::sized_for(&trace, 0.5, SimConfig::default()));
+//! let sim = Simulator::new(SimConfig::default().sized_to(&trace, 0.5));
 //!
 //! let baseline = sim.run(&trace, &mut NoPrefetcher);
 //! let mut cls = ClsPrefetcher::new(ClsConfig::default());
