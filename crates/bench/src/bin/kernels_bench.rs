@@ -1,0 +1,47 @@
+//! Kernel perf point: forward / train / rollout latency of the sparse
+//! Hebbian network at paper (Table-2) scale.
+//!
+//! Prints the timing table and writes the machine-readable artifact:
+//! `results/BENCH_kernels.json` when run from the repository root
+//! (refreshing the checked-in perf point), `BENCH_kernels.json` in the
+//! working directory otherwise, plus the usual JSON copy under
+//! `target/experiments/`. Schema: DESIGN.md §12.
+//!
+//! Usage: `cargo run --release -p hnp-bench --bin kernels_bench [iters]`
+
+use std::path::Path;
+
+use hnp_bench::kernels::{self, KernelBenchOpts};
+use hnp_bench::{output, timing};
+
+fn main() {
+    let opts = KernelBenchOpts {
+        warmup: output::arg_or(2, "HNP_WARMUP", KernelBenchOpts::full().warmup),
+        iters: output::arg_or(1, "HNP_ITERS", KernelBenchOpts::full().iters),
+    };
+    output::header("Hebbian kernel latency (paper_table2 scale)");
+    let rep = kernels::run(opts);
+    println!(
+        "{:<22} {:>12}   ({} iters after {} warmup)",
+        "kernel", "mean", rep.iters, rep.warmup
+    );
+    for (label, ns) in [
+        ("forward (infer)", rep.forward_ns),
+        ("train step", rep.train_ns),
+        ("rollout x8", rep.rollout8_ns),
+    ] {
+        println!("{:<22} {}", label, timing::fmt_us(ns as f64));
+    }
+
+    let line = rep.to_json();
+    let target = if Path::new("results").is_dir() {
+        "results/BENCH_kernels.json"
+    } else {
+        "BENCH_kernels.json"
+    };
+    match std::fs::write(target, format!("{line}\n")) {
+        Ok(()) => println!("[artifact] {target}"),
+        Err(e) => eprintln!("warning: cannot write {target}: {e}"),
+    }
+    output::write_json("kernels_bench", &rep);
+}

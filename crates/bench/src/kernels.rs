@@ -1,0 +1,174 @@
+//! The kernel perf harness behind `kernels_bench` and `hnpctl bench`.
+//!
+//! Times the three kernels on the per-miss path — forward/inference,
+//! online training, and autoregressive rollout — at the paper's
+//! Table-2 scale ([`HebbianConfig::paper_table2`]) and reports integer
+//! nanosecond means as [`KernelsBenchReport`]. The JSON rendering is
+//! the `BENCH_kernels.json` artifact (schema in `results/README.md`
+//! and DESIGN.md §12): one compact line, integer fields only, so the
+//! `hnp_obs::jsonl_u64`-family helpers parse it back.
+
+use serde::Serialize;
+
+use crate::timing::time_ns;
+use hnp_hebbian::{HebbianConfig, HebbianNetwork};
+
+/// Rollout depth timed by the harness (the `rollout8_ns` field).
+pub const ROLLOUT_STEPS: usize = 8;
+
+/// Iteration counts for one harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelBenchOpts {
+    /// Untimed calls before each timed section.
+    pub warmup: usize,
+    /// Timed calls per kernel.
+    pub iters: usize,
+}
+
+impl KernelBenchOpts {
+    /// The full-fidelity run (the checked-in `results/` artifact).
+    pub fn full() -> Self {
+        Self {
+            warmup: 200,
+            iters: 4000,
+        }
+    }
+
+    /// A fast run for CI smoke jobs (`hnpctl bench --iters-small`).
+    pub fn small() -> Self {
+        Self {
+            warmup: 20,
+            iters: 200,
+        }
+    }
+}
+
+/// One recorded perf point. All latency fields are mean nanoseconds
+/// per call, truncated to integers (the workspace's machine-readable
+/// outputs are integer-only; see DESIGN.md §9 / §12).
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelsBenchReport {
+    /// Schema version of this artifact (bump on field changes).
+    pub schema: u64,
+    /// Network scale the kernels ran at.
+    pub scale: String,
+    /// Integer parameter count of the timed network.
+    pub param_count: u64,
+    /// Untimed warmup calls per kernel.
+    pub warmup: u64,
+    /// Timed calls per kernel.
+    pub iters: u64,
+    /// Mean ns of one inference forward pass
+    /// ([`HebbianNetwork::infer_advance`]).
+    pub forward_ns: u64,
+    /// Mean ns of one online training step
+    /// ([`HebbianNetwork::train_step`]).
+    pub train_ns: u64,
+    /// Mean ns of one [`ROLLOUT_STEPS`]-step autoregressive rollout.
+    pub rollout8_ns: u64,
+}
+
+impl KernelsBenchReport {
+    /// The compact single-line JSON rendering written to
+    /// `BENCH_kernels.json`. Falls back to an empty object on a
+    /// serializer error (none is reachable for this struct).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "{}".into())
+    }
+
+    /// Field names every well-formed artifact must carry as bare
+    /// integers (consumers validate with `hnp_obs::jsonl_u64`).
+    pub fn integer_fields() -> [&'static str; 7] {
+        [
+            "schema",
+            "param_count",
+            "warmup",
+            "iters",
+            "forward_ns",
+            "train_ns",
+            "rollout8_ns",
+        ]
+    }
+}
+
+/// Runs the harness at paper scale. The network is pre-trained on a
+/// short delta cycle so the timed steady state exercises learned
+/// weights rather than an all-zero output layer.
+pub fn run(opts: KernelBenchOpts) -> KernelsBenchReport {
+    let cfg = HebbianConfig::paper_table2();
+    let pattern_bits = cfg.pattern_bits as u32;
+    let outputs = cfg.outputs;
+    let mut net = HebbianNetwork::new(cfg);
+    let param_count = net.param_count() as u64;
+    for i in 0..256u32 {
+        let cur = i % 64;
+        net.train_step(&[cur], ((cur + 1) % 64) as usize);
+    }
+
+    let mut k = 0u32;
+    let train_ns = time_ns(opts.warmup, opts.iters, || {
+        k = (k + 1) % 64;
+        std::hint::black_box(net.train_step(&[k], ((k + 1) % 64) as usize));
+    });
+    let mut j = 0u32;
+    let forward_ns = time_ns(opts.warmup, opts.iters, || {
+        j = (j + 1) % 64;
+        std::hint::black_box(net.infer_advance(&[j], ((j + 1) % 64) as usize % outputs));
+    });
+    let rollout_iters = (opts.iters / ROLLOUT_STEPS).max(1);
+    let rollout8_ns = time_ns(opts.warmup / 2, rollout_iters, || {
+        std::hint::black_box(net.rollout(&[1], ROLLOUT_STEPS, |t| vec![t as u32 % pattern_bits]));
+    });
+
+    KernelsBenchReport {
+        schema: 1,
+        scale: "paper_table2".into(),
+        param_count,
+        warmup: opts.warmup as u64,
+        iters: opts.iters as u64,
+        forward_ns: forward_ns as u64,
+        train_ns: train_ns as u64,
+        rollout8_ns: rollout8_ns as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hnp_obs::{jsonl_kind, jsonl_u64};
+
+    #[test]
+    fn report_round_trips_through_jsonl_helpers() {
+        let rep = KernelsBenchReport {
+            schema: 1,
+            scale: "paper_table2".into(),
+            param_count: 49_000,
+            warmup: 5,
+            iters: 10,
+            forward_ns: 1234,
+            train_ns: 5678,
+            rollout8_ns: 91011,
+        };
+        let json = rep.to_json();
+        assert!(!json.contains('\n'), "artifact must be one line");
+        // Not an event stream, so `jsonl_kind` must NOT parse it — but
+        // every integer field must come back via `jsonl_u64`.
+        assert!(jsonl_kind(&json).is_none());
+        assert_eq!(jsonl_u64(&json, "forward_ns"), Some(1234));
+        assert_eq!(jsonl_u64(&json, "train_ns"), Some(5678));
+        assert_eq!(jsonl_u64(&json, "rollout8_ns"), Some(91011));
+        for field in KernelsBenchReport::integer_fields() {
+            assert!(jsonl_u64(&json, field).is_some(), "missing {field}");
+        }
+    }
+
+    #[test]
+    fn tiny_run_produces_nonzero_timings() {
+        let rep = run(KernelBenchOpts {
+            warmup: 1,
+            iters: 3,
+        });
+        assert_eq!(rep.param_count, 49_000);
+        assert!(rep.forward_ns > 0 && rep.train_ns > 0 && rep.rollout8_ns > 0);
+    }
+}

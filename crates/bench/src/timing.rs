@@ -29,13 +29,23 @@ pub fn fmt_us(ns: f64) -> String {
 mod tests {
     use super::*;
 
+    /// Serial multiply-add chain of length `n`; LLVM cannot reduce it
+    /// to a closed form (unlike a range sum), so the work is real.
+    fn churn(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..std::hint::black_box(n) {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
+    }
+
     #[test]
     fn timing_scales_with_work() {
-        let cheap = time_ns(2, 50, || {
-            std::hint::black_box((0..10u64).sum::<u64>());
+        let cheap = time_ns(2, 200, || {
+            std::hint::black_box(churn(10));
         });
-        let costly = time_ns(2, 50, || {
-            std::hint::black_box((0..100_000u64).sum::<u64>());
+        let costly = time_ns(2, 200, || {
+            std::hint::black_box(churn(100_000));
         });
         assert!(costly > cheap, "costly {costly} vs cheap {cheap}");
     }

@@ -14,6 +14,7 @@
 //! hnpctl lint       [--root DIR] [--json FILE] [--quiet true]
 //! hnpctl serve-bench [--tenants 32] [--accesses 200] [--threads 1,2,4]
 //!                   [--shards 8] [--obs events.jsonl] [--snapshot-dir DIR]
+//! hnpctl bench      [--iters-small true] [--out BENCH_kernels.json]
 //! ```
 //!
 //! Workloads: `tensorflow`, `pagerank`, `mcf`, `graph500`, `kv-store`,
@@ -48,7 +49,7 @@ use hnp_trace::stats::TraceStats;
 use hnp_trace::{io, Pattern, Trace};
 
 const USAGE: &str =
-    "usage: hnpctl <trace-gen|trace-stats|run|stats|compare|patterns|faults|lint|serve-bench> [--key value ...]
+    "usage: hnpctl <trace-gen|trace-stats|run|stats|compare|patterns|faults|lint|serve-bench|bench> [--key value ...]
   trace-gen   --workload NAME --accesses N [--seed S] --out FILE
   trace-stats --trace FILE [--csv true]
   run         --trace FILE --prefetcher NAME [--capacity-frac F] [--seed S] [--json true]
@@ -68,7 +69,10 @@ const USAGE: &str =
               [--model mix|NAME] [--crashes E:T,E:T] [--seed S]
               [--obs FILE] [--snapshot-dir DIR]
               (multi-tenant serving engine: scaling table + determinism
-               check across thread counts)";
+               check across thread counts)
+  bench       [--iters-small true] [--out FILE]
+              (kernel perf point at paper scale -> BENCH_kernels.json,
+               validated after writing; see DESIGN.md §12)";
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -88,6 +92,7 @@ fn main() -> ExitCode {
         "faults" => cmd_faults(&args),
         "lint" => cmd_lint(&args),
         "serve-bench" => cmd_serve_bench(&args),
+        "bench" => cmd_bench(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     };
     match result {
@@ -659,6 +664,49 @@ fn cmd_serve_bench(args: &Args) -> Result<(), String> {
         );
         println!("outcome identical across thread counts {threads:?}");
     }
+    Ok(())
+}
+
+/// Runs the kernel perf harness (`hnp_bench::kernels`) and writes the
+/// `BENCH_kernels.json` artifact, then re-reads it and validates every
+/// integer field with the `hnp_obs::jsonl_u64` helpers — CI fails on a
+/// malformed artifact at write time, not when a consumer parses it.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let opts = if args.get("iters-small", "false") == "true" {
+        hnp_bench::kernels::KernelBenchOpts::small()
+    } else {
+        hnp_bench::kernels::KernelBenchOpts::full()
+    };
+    let out = args.get("out", "BENCH_kernels.json");
+    let rep = hnp_bench::kernels::run(opts);
+    println!(
+        "kernel perf at {} scale ({} params, {} iters):",
+        rep.scale, rep.param_count, rep.iters
+    );
+    println!("  forward  (infer_advance)  {:>8} ns", rep.forward_ns);
+    println!("  train    (train_step)     {:>8} ns", rep.train_ns);
+    println!(
+        "  rollout  ({} steps)        {:>8} ns",
+        hnp_bench::kernels::ROLLOUT_STEPS,
+        rep.rollout8_ns
+    );
+    std::fs::write(out, format!("{}\n", rep.to_json()))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    let text = std::fs::read_to_string(out).map_err(|e| format!("cannot re-read {out}: {e}"))?;
+    let line = text
+        .lines()
+        .next()
+        .ok_or_else(|| format!("{out} is empty"))?;
+    for field in hnp_bench::kernels::KernelsBenchReport::integer_fields() {
+        if jsonl_u64(line, field).is_none() {
+            return Err(format!(
+                "malformed artifact {out}: integer field {field:?} does not parse"
+            ));
+        }
+    }
+    println!("wrote {out} (validated {} integer fields)", {
+        hnp_bench::kernels::KernelsBenchReport::integer_fields().len()
+    });
     Ok(())
 }
 

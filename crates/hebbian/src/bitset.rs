@@ -35,8 +35,26 @@ impl BitSet {
     }
 
     /// Whether no bit is set.
-    pub fn is_empty(&self) -> bool {
+    ///
+    /// (Not `is_empty`: that name would pair with [`BitSet::len`],
+    /// which reports bit *capacity*, and break the Rust convention
+    /// `is_empty() ⇔ len() == 0` for callers.)
+    pub fn none_set(&self) -> bool {
         self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Deprecated alias of [`BitSet::none_set`].
+    #[deprecated(note = "renamed to `none_set`: `len()` is bit capacity, not set-bit count")]
+    pub fn is_empty(&self) -> bool {
+        self.none_set()
+    }
+
+    /// The backing `u64` words, least-significant bits first: bit `i`
+    /// lives at `words()[i / 64] & (1 << (i % 64))`. Exposed for
+    /// word-at-a-time kernels (the Eq.-1 update walk in
+    /// [`crate::sparse::SparseLayer::hebbian_update`]).
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Sets bit `i`.
@@ -145,8 +163,9 @@ mod tests {
     #[test]
     fn clear_resets_everything() {
         let mut s = BitSet::from_indices(70, &[0, 69]);
+        assert!(!s.none_set());
         s.clear();
-        assert!(s.is_empty());
+        assert!(s.none_set());
         assert_eq!(s.count(), 0);
     }
 

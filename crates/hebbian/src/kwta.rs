@@ -9,23 +9,99 @@
 ///
 /// Ties are broken toward the lower index so that results are fully
 /// deterministic. Returns all indices if `k >= scores.len()`.
+///
+/// Allocates two fresh buffers per call; the per-miss hot path uses
+/// [`k_winners_into`] with reusable scratch instead.
 pub fn k_winners(scores: &[i32], k: usize) -> Vec<u32> {
-    if k == 0 {
-        return Vec::new();
-    }
-    if k >= scores.len() {
-        return (0..scores.len() as u32).collect();
-    }
-    // Select the k-th largest score by sorting a copy of the indices;
-    // n is ~1000 on the hot path so an O(n log n) partial selection is
-    // plenty, and `select_nth_unstable_by` keeps it O(n).
-    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
-    idx.select_nth_unstable_by(k - 1, |&a, &b| {
-        scores[b as usize].cmp(&scores[a as usize]).then(a.cmp(&b))
-    });
-    let mut winners = idx[..k].to_vec();
-    winners.sort_unstable();
+    let mut scratch = Vec::new();
+    let mut winners = Vec::new();
+    k_winners_into(scores, k, &mut scratch, &mut winners);
     winners
+}
+
+/// Allocation-free [`k_winners`]: writes the winner set into
+/// `winners` (cleared first), using `scratch` as the workspace.
+/// In steady state — once both buffers have reached their high-water
+/// capacity — no heap allocation occurs.
+///
+/// Two strategies, picked by score spread (both produce the identical
+/// winner set):
+///
+/// * **Counting selection** when `max - min <= 4 * n` (always true on
+///   the hot path, where scores are bounded by `active × clamp`):
+///   histogram the scores in `scratch`, walk buckets from the top to
+///   find the threshold score, then emit indices in one ascending
+///   pass — strictly-above-threshold ones unconditionally, at-
+///   threshold ones lowest-index-first until `k` is reached. No sort
+///   at all; the emission order is already ascending.
+/// * **Packed quickselect** otherwise: each candidate packs into one
+///   `u64` key (sign-biased score high, bit-inverted index low) so
+///   "higher score first, lower index on ties" is plain integer
+///   comparison for `select_nth_unstable_by`, then the winner prefix
+///   is unpacked and sorted ascending.
+pub fn k_winners_into(scores: &[i32], k: usize, scratch: &mut Vec<u64>, winners: &mut Vec<u32>) {
+    winners.clear();
+    if k == 0 {
+        return;
+    }
+    let n = scores.len();
+    if k >= n {
+        winners.extend(0..n as u32);
+        return;
+    }
+    let (mut min, mut max) = (i32::MAX, i32::MIN);
+    for &s in scores {
+        min = min.min(s);
+        max = max.max(s);
+    }
+    let range = (max as i64 - min as i64) as usize;
+    if range <= 4 * n {
+        scratch.clear();
+        scratch.resize(range + 1, 0);
+        for &s in scores {
+            scratch[(s - min) as usize] += 1;
+        }
+        let mut remaining = k as u64;
+        let mut bucket = range;
+        while scratch[bucket] < remaining {
+            remaining -= scratch[bucket];
+            bucket -= 1;
+        }
+        let threshold = min + bucket as i32;
+        let mut ties_left = remaining;
+        for (i, &s) in scores.iter().enumerate() {
+            if s > threshold {
+                winners.push(i as u32);
+            } else if s == threshold && ties_left > 0 {
+                ties_left -= 1;
+                winners.push(i as u32);
+            }
+        }
+        return;
+    }
+    scratch.clear();
+    scratch.extend(
+        scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ((s as u32 ^ 0x8000_0000) as u64) << 32 | !(i as u32) as u64),
+    );
+    scratch.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+    winners.extend(scratch[..k].iter().map(|&key| !(key as u32)));
+    winners.sort_unstable();
+}
+
+/// Pre-optimization reference: full sort of all indices, take the top
+/// `k`, re-sort ascending. Kept only to differential-test
+/// [`k_winners_into`] (see `tests::matches_naive_reference` and the
+/// crate's `differential` proptest module).
+#[cfg(test)]
+pub(crate) fn k_winners_ref(scores: &[i32], k: usize) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_by(|&a, &b| scores[b as usize].cmp(&scores[a as usize]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
 }
 
 #[cfg(test)]
@@ -65,5 +141,36 @@ mod tests {
     fn negative_scores_still_select_the_least_negative() {
         let scores = [-10, -3, -7, -1];
         assert_eq!(k_winners(&scores, 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_and_matches() {
+        let scores: Vec<i32> = (0..200).map(|i| (i * 53) % 97).collect();
+        let mut scratch = Vec::new();
+        let mut winners = Vec::new();
+        for k in [0usize, 1, 7, 100, 200, 500] {
+            k_winners_into(&scores, k, &mut scratch, &mut winners);
+            assert_eq!(winners, k_winners(&scores, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let scores: Vec<i32> = (0..300).map(|i| (i * 31) % 101 - 50).collect();
+        for k in [0usize, 1, 10, 150, 300] {
+            assert_eq!(k_winners(&scores, k), k_winners_ref(&scores, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn wide_spread_takes_quickselect_path_and_matches() {
+        // Spread >> 4n forces the packed-quickselect fallback; both
+        // strategies must agree with the naive reference.
+        let scores: Vec<i32> = (0..100)
+            .map(|i| (i * 7919 % 13) * 1_000_000 - 6_000_000 + i)
+            .collect();
+        for k in [1usize, 5, 50, 99] {
+            assert_eq!(k_winners(&scores, k), k_winners_ref(&scores, k), "k = {k}");
+        }
     }
 }

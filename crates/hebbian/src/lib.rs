@@ -23,6 +23,8 @@
 
 pub mod assoc;
 pub mod bitset;
+#[cfg(test)]
+mod differential;
 pub mod kwta;
 pub mod lr;
 pub mod network;

@@ -15,7 +15,7 @@ use rand::{Rng, RngCore, SeedableRng};
 use crate::lr::LrScale;
 
 use crate::bitset::BitSet;
-use crate::kwta::k_winners;
+use crate::kwta::k_winners_into;
 use crate::sparse::SparseLayer;
 
 /// How (and whether) the input-to-hidden layer learns.
@@ -280,9 +280,30 @@ pub struct HebbianNetwork {
     recurrent: Vec<u32>,
     /// RNG for probabilistic scaled updates.
     rng: StdRng,
-    /// Scratch buffers reused across steps.
+    /// Scratch buffers reused across steps — after a few warmup steps
+    /// every buffer has reached its steady-state capacity and
+    /// `forward`/`infer*`/`train_step*` stop allocating entirely (see
+    /// DESIGN.md §12; enforced by the counting-allocator test).
     hidden_scores: Vec<i32>,
     out_scores: Vec<i32>,
+    /// Active-input list of the current step (pattern bits plus
+    /// shifted recurrent bits).
+    active_buf: Vec<u32>,
+    /// Current step's winner set (sorted ascending), written by
+    /// [`k_winners_into`].
+    winners_buf: Vec<u32>,
+    /// Packed-key workspace for [`k_winners_into`].
+    kwta_scratch: Vec<u64>,
+    /// Winner bitset over the hidden space (Eq.-1 update input).
+    winner_set: BitSet,
+    /// Active-input bitset over the input space (hidden-learning
+    /// update input).
+    active_set: BitSet,
+    /// Next recurrent state under construction (swapped with
+    /// `recurrent` at the end of each advancing step).
+    recurrent_scratch: Vec<u32>,
+    /// Winner-trace ordering workspace (`RecurrentStyle::WinnerTrace`).
+    trace_scratch: Vec<u32>,
     /// Previous step's winner set (sorted), for overlap tracking.
     prev_winners: Vec<u32>,
     /// Instrumentation counters (read via [`HebbianNetwork::stats`]).
@@ -352,6 +373,13 @@ impl HebbianNetwork {
         Self {
             hidden_scores: vec![0; cfg.hidden],
             out_scores: vec![0; cfg.outputs],
+            active_buf: Vec::new(),
+            winners_buf: Vec::new(),
+            kwta_scratch: Vec::new(),
+            winner_set: BitSet::new(cfg.hidden),
+            active_set: BitSet::new(input_dim),
+            recurrent_scratch: Vec::new(),
+            trace_scratch: Vec::new(),
             layer1,
             layer2,
             recurrent_map,
@@ -464,10 +492,10 @@ impl HebbianNetwork {
         Ok(())
     }
 
-    /// Builds the full active-input list for a pattern: pattern bits as
+    /// Rebuilds `self.active_buf` for a pattern: pattern bits as
     /// given plus the recurrent bits shifted past the pattern section.
-    fn active_inputs(&self, pattern: &[u32]) -> Vec<u32> {
-        let mut v = Vec::with_capacity(pattern.len() + self.recurrent.len());
+    fn fill_active_inputs(&mut self, pattern: &[u32]) {
+        self.active_buf.clear();
         for &b in pattern {
             assert!(
                 (b as usize) < self.cfg.pattern_bits,
@@ -475,33 +503,41 @@ impl HebbianNetwork {
                 b,
                 self.cfg.pattern_bits
             );
-            v.push(b);
+            self.active_buf.push(b);
         }
         for &r in &self.recurrent {
-            v.push(self.cfg.pattern_bits as u32 + r);
+            self.active_buf.push(self.cfg.pattern_bits as u32 + r);
         }
-        v
     }
 
-    /// Forward pass: returns (winners sorted by index, ops).
-    /// `self.hidden_scores` and `self.out_scores` hold the raw scores
-    /// afterwards.
-    fn forward(&mut self, active: &[u32]) -> (Vec<u32>, usize) {
+    /// Forward pass over `self.active_buf` (see
+    /// [`fill_active_inputs`](Self::fill_active_inputs)): returns ops.
+    /// Afterwards `self.winners_buf` holds the winner set sorted by
+    /// index, and `self.hidden_scores` / `self.out_scores` the raw
+    /// scores.
+    fn forward(&mut self) -> usize {
         self.hidden_scores.iter_mut().for_each(|s| *s = 0);
         self.out_scores.iter_mut().for_each(|s| *s = 0);
-        let mut ops = self.layer1.forward(active, &mut self.hidden_scores);
-        let winners = k_winners(&self.hidden_scores, self.cfg.hidden_active);
+        let mut ops = self
+            .layer1
+            .forward(&self.active_buf, &mut self.hidden_scores);
+        k_winners_into(
+            &self.hidden_scores,
+            self.cfg.hidden_active,
+            &mut self.kwta_scratch,
+            &mut self.winners_buf,
+        );
         // Selection cost: one compare per hidden unit plus heap-ish
         // bookkeeping; counted as 2 ops per unit.
         ops += 2 * self.cfg.hidden;
-        ops += self.layer2.forward(&winners, &mut self.out_scores);
+        ops += self.layer2.forward(&self.winners_buf, &mut self.out_scores);
         ops += self.cfg.outputs; // Argmax scan.
         self.stats.steps += 1;
-        self.stats.overlap_sum += sorted_intersection(&winners, &self.prev_winners);
-        self.stats.winner_slots += winners.len() as u64;
+        self.stats.overlap_sum += sorted_intersection(&self.winners_buf, &self.prev_winners);
+        self.stats.winner_slots += self.winners_buf.len() as u64;
         self.prev_winners.clear();
-        self.prev_winners.extend_from_slice(&winners);
-        (winners, ops)
+        self.prev_winners.extend_from_slice(&self.winners_buf);
+        ops
     }
 
     /// Normalized non-negative score share of `class`. The division
@@ -528,41 +564,45 @@ impl HebbianNetwork {
         best
     }
 
-    /// Advances the recurrent state after a step on `pattern` with
-    /// hidden `winners`, per the configured [`RecurrentStyle`].
-    fn advance_recurrent(&mut self, pattern: &[u32], winners: &[u32]) {
+    /// Advances the recurrent state after a step on `pattern` with the
+    /// hidden winners in `self.winners_buf`, per the configured
+    /// [`RecurrentStyle`]. Builds the next state in
+    /// `self.recurrent_scratch` and swaps — no allocation once both
+    /// vectors are at capacity.
+    fn advance_recurrent(&mut self, pattern: &[u32]) {
         if self.cfg.recurrent_bits == 0 {
             return;
         }
-        let mut slots: Vec<u32> = match self.cfg.recurrent_style {
-            RecurrentStyle::PatternCode => pattern
-                .iter()
-                .flat_map(|&b| self.pattern_code_map[b as usize].iter().copied())
-                .collect(),
-            RecurrentStyle::WinnerTrace => {
-                let mut by_score: Vec<u32> = winners.to_vec();
-                by_score.sort_by(|&a, &b| {
-                    self.hidden_scores[b as usize]
-                        .cmp(&self.hidden_scores[a as usize])
-                        .then(a.cmp(&b))
-                });
-                by_score.truncate(self.cfg.recurrent_sample);
-                by_score
-                    .iter()
-                    .map(|&w| self.recurrent_map[w as usize])
-                    .collect()
+        self.recurrent_scratch.clear();
+        match self.cfg.recurrent_style {
+            RecurrentStyle::PatternCode => {
+                for &b in pattern {
+                    self.recurrent_scratch
+                        .extend_from_slice(&self.pattern_code_map[b as usize]);
+                }
             }
-        };
-        slots.sort_unstable();
-        slots.dedup();
-        self.recurrent = slots;
+            RecurrentStyle::WinnerTrace => {
+                self.trace_scratch.clear();
+                self.trace_scratch.extend_from_slice(&self.winners_buf);
+                let scores = &self.hidden_scores;
+                self.trace_scratch
+                    .sort_by(|&a, &b| scores[b as usize].cmp(&scores[a as usize]).then(a.cmp(&b)));
+                self.trace_scratch.truncate(self.cfg.recurrent_sample);
+                for &w in &self.trace_scratch {
+                    self.recurrent_scratch.push(self.recurrent_map[w as usize]);
+                }
+            }
+        }
+        self.recurrent_scratch.sort_unstable();
+        self.recurrent_scratch.dedup();
+        std::mem::swap(&mut self.recurrent, &mut self.recurrent_scratch);
     }
 
     /// Inference without learning or state change: predicts the next
     /// class for `pattern` and reports confidence on `probe`.
     pub fn infer(&mut self, pattern: &[u32], probe: usize) -> HebbianOutcome {
-        let active = self.active_inputs(pattern);
-        let (_, ops) = self.forward(&active);
+        self.fill_active_inputs(pattern);
+        let ops = self.forward();
         let predicted = self.argmax_out();
         HebbianOutcome {
             predicted,
@@ -575,8 +615,8 @@ impl HebbianNetwork {
     /// Inference that advances the recurrent state (the online
     /// prediction path).
     pub fn infer_advance(&mut self, pattern: &[u32], probe: usize) -> HebbianOutcome {
-        let active = self.active_inputs(pattern);
-        let (winners, ops) = self.forward(&active);
+        self.fill_active_inputs(pattern);
+        let ops = self.forward();
         let predicted = self.argmax_out();
         let out = HebbianOutcome {
             predicted,
@@ -584,7 +624,7 @@ impl HebbianNetwork {
             correct: predicted == probe,
             ops,
         };
-        self.advance_recurrent(pattern, &winners);
+        self.advance_recurrent(pattern);
         out
     }
 
@@ -592,10 +632,22 @@ impl HebbianNetwork {
     /// Call after any `infer*`/`train*` step to read multi-candidate
     /// predictions (§5.2's prefetch width).
     pub fn top_predictions(&self, width: usize) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.out_scores.len()).collect();
-        idx.sort_by(|&a, &b| self.out_scores[b].cmp(&self.out_scores[a]).then(a.cmp(&b)));
-        idx.truncate(width);
-        idx
+        // Packed keys (bit-inverted sign-biased score high, index low)
+        // make "score desc, index asc" a primitive ascending sort —
+        // rollout calls this every lookahead step, and an indirect
+        // comparator over `out_scores` was its single largest cost.
+        let mut keyed: Vec<u64> = self
+            .out_scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (!(s as u32 ^ 0x8000_0000) as u64) << 32 | i as u64)
+            .collect();
+        keyed.sort_unstable();
+        keyed.truncate(width);
+        keyed
+            .iter()
+            .map(|&key| (key & 0xffff_ffff) as usize)
+            .collect()
     }
 
     /// One online training step with the base integer step size.
@@ -641,8 +693,8 @@ impl HebbianNetwork {
         anti_hebbian: bool,
     ) -> HebbianOutcome {
         assert!(target < self.cfg.outputs, "target out of range");
-        let active = self.active_inputs(pattern);
-        let (winners, mut ops) = self.forward(&active);
+        self.fill_active_inputs(pattern);
+        let mut ops = self.forward();
         let predicted = self.argmax_out();
         let outcome_conf = self.confidence_of(target);
 
@@ -670,16 +722,21 @@ impl HebbianNetwork {
                 HiddenLearning::Always => true,
             };
             if update_hidden {
-                let input_dim = self.cfg.pattern_bits + self.cfg.recurrent_bits;
-                let active_set = BitSet::from_indices(input_dim, &active);
-                for &w in &winners {
-                    ops += self.layer1.hebbian_update(w, &active_set, step, ltd);
+                self.active_set.clear();
+                for &i in &self.active_buf {
+                    self.active_set.insert(i as usize);
+                }
+                for &w in &self.winners_buf {
+                    ops += self.layer1.hebbian_update(w, &self.active_set, step, ltd);
                 }
             }
-            let winner_set = BitSet::from_indices(self.cfg.hidden, &winners);
+            self.winner_set.clear();
+            for &w in &self.winners_buf {
+                self.winner_set.insert(w as usize);
+            }
             ops += self
                 .layer2
-                .hebbian_update(target as u32, &winner_set, step, ltd);
+                .hebbian_update(target as u32, &self.winner_set, step, ltd);
             if anti_hebbian {
                 // Lateral-inhibition LTD: depress the strongest
                 // non-target output on the active winners, at LTD
@@ -697,13 +754,13 @@ impl HebbianNetwork {
                     }
                 }
                 if let Some(c) = comp {
-                    ops += self.layer2.anti_update(c as u32, &winner_set, ltd);
+                    ops += self.layer2.anti_update(c as u32, &self.winner_set, ltd);
                 }
             }
             self.stats.weight_updates += 1;
             self.stats.update_ops += (ops - ops_before_update) as u64;
         }
-        self.advance_recurrent(pattern, &winners);
+        self.advance_recurrent(pattern);
         HebbianOutcome {
             predicted,
             confidence: outcome_conf,
@@ -767,15 +824,15 @@ impl HebbianNetwork {
         // hnp-lint: allow(integer_purity): diagnostic confidence readout
         let mut first_conf = 0.0;
         for step in 0..steps {
-            let active = self.active_inputs(&current);
-            let (winners, _) = self.forward(&active);
+            self.fill_active_inputs(&current);
+            self.forward();
             let top = self.top_predictions(width);
             let p = top[0];
             if step == 0 {
                 first_conf = self.confidence_of(p);
             }
             preds.push(top);
-            self.advance_recurrent(&current, &winners);
+            self.advance_recurrent(&current);
             current = encode(p);
         }
         self.recurrent = saved;

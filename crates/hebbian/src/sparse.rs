@@ -8,10 +8,25 @@
 //! the forward and update paths is integer.
 //!
 //! The layer keeps two adjacency views over one flat weight array:
-//! input-major (for the forward pass, which iterates the few *active*
-//! inputs) and output-major (for the Hebbian update, which walks all
-//! incoming connections of an *active output*, because Eq. 1
-//! potentiates active inputs and depresses inactive ones).
+//!
+//! * **input-major CSR** for the forward pass (which iterates the few
+//!   *active* inputs): flat per-edge arrays bucketed by input via
+//!   `offsets` — input `i`'s fan-out occupies positions
+//!   `offsets[i]..offsets[i + 1]` of `edge_out`, `edge_slot`, and
+//!   `edge_weights`. The weight *mirror* makes the inner accumulation
+//!   loop read two sequential streams (output index + weight) with no
+//!   random load at all; the canonical slot-ordered `weights` array
+//!   would otherwise cost a scattered 48-KB-range fetch per edge. The
+//!   update paths write weights through `edge_of_slot` to keep the
+//!   mirror coherent. (The old jagged `Vec<Vec<_>>` additionally paid
+//!   a pointer dereference and a potential cache miss per active
+//!   input.)
+//! * **output-major masks** for the Hebbian update (which walks all
+//!   incoming connections of an *active output*): per output, a bit
+//!   mask over the input space (`src_masks`) plus the slot ids in
+//!   ascending-source order (`slots_by_source`). Eq. 1 then runs as a
+//!   word-at-a-time sweep of mask ∧ active-input words instead of a
+//!   per-connection random-access `BitSet::contains` branch.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -32,8 +47,28 @@ pub struct SparseLayer {
     weights: Vec<i16>,
     /// `sources[o * fan_in + j]` = input index of that connection.
     sources: Vec<u32>,
-    /// Input-major view: `out_edges[i]` lists `(output, slot)` pairs.
-    out_edges: Vec<Vec<(u32, u32)>>,
+    /// CSR: output unit of each edge, grouped by input.
+    edge_out: Vec<u32>,
+    /// CSR: canonical weight slot of each edge.
+    edge_slot: Vec<u32>,
+    /// CSR: weight mirror in edge order (kept coherent with `weights`
+    /// by every update path), so `forward` streams sequentially.
+    edge_weights: Vec<i16>,
+    /// Inverse of `edge_slot`: the edge position of each weight slot.
+    edge_of_slot: Vec<u32>,
+    /// CSR bucket bounds: input `i` owns edge positions
+    /// `offsets[i] as usize .. offsets[i + 1] as usize` (length
+    /// `inputs + 1`).
+    offsets: Vec<u32>,
+    /// Per-output source bit masks, `words_per_row` words each: bit
+    /// `i` of row `o` is set iff connection `(i, o)` exists.
+    src_masks: Vec<u64>,
+    /// `u64` words per `src_masks` row (`inputs.div_ceil(64)`).
+    words_per_row: usize,
+    /// Per output, its `fan_in` slot ids in ascending-source order —
+    /// the j-th set bit of `src_masks` row `o` is the source of slot
+    /// `slots_by_source[o * fan_in + j]`.
+    slots_by_source: Vec<u32>,
 }
 
 impl SparseLayer {
@@ -66,19 +101,67 @@ impl SparseLayer {
         let fan_in = ((inputs as f64 * connectivity).ceil() as usize).max(1);
         let mut weights = vec![0i16; outputs * fan_in];
         let mut sources = vec![0u32; outputs * fan_in];
-        let mut out_edges = vec![Vec::new(); inputs];
         let mut pool: Vec<u32> = (0..inputs as u32).collect();
         for o in 0..outputs {
             pool.shuffle(rng);
             for (j, &i) in pool[..fan_in].iter().enumerate() {
-                let slot = (o * fan_in + j) as u32;
-                sources[slot as usize] = i;
-                out_edges[i as usize].push((o as u32, slot));
+                let slot = o * fan_in + j;
+                sources[slot] = i;
                 // Random initial weights break winner ties; wider
                 // ranges give a fixed layer better pattern separation.
-                weights[slot as usize] = rng.gen_range(-init_mag..=init_mag);
+                weights[slot] = rng.gen_range(-init_mag..=init_mag);
             }
         }
+
+        // Input-major CSR: count fan-out per input, prefix-sum into
+        // bucket offsets, then fill in (output, slot) order — the same
+        // edge order the old jagged `Vec<Vec<_>>` produced, so forward
+        // accumulation (and its ops count) is bit-identical.
+        let mut offsets = vec![0u32; inputs + 1];
+        for &src in &sources {
+            offsets[src as usize + 1] += 1;
+        }
+        for i in 0..inputs {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..inputs].to_vec();
+        let mut edge_out = vec![0u32; sources.len()];
+        let mut edge_slot = vec![0u32; sources.len()];
+        let mut edge_of_slot = vec![0u32; sources.len()];
+        for o in 0..outputs {
+            for j in 0..fan_in {
+                let slot = o * fan_in + j;
+                let src = sources[slot] as usize;
+                let e = cursor[src] as usize;
+                edge_out[e] = o as u32;
+                edge_slot[e] = slot as u32;
+                edge_of_slot[slot] = e as u32;
+                cursor[src] += 1;
+            }
+        }
+        let edge_weights: Vec<i16> = edge_slot.iter().map(|&s| weights[s as usize]).collect();
+
+        // Output-major masks for the word-at-a-time Eq.-1 walk.
+        let words_per_row = inputs.div_ceil(64);
+        let mut src_masks = vec![0u64; outputs * words_per_row];
+        let mut slots_by_source = vec![0u32; sources.len()];
+        let mut order: Vec<u32> = (0..fan_in as u32).collect();
+        for o in 0..outputs {
+            let base = o * fan_in;
+            for j in 0..fan_in {
+                let src = sources[base + j] as usize;
+                src_masks[o * words_per_row + src / 64] |= 1 << (src % 64);
+            }
+            // Sources per output are distinct by construction, so the
+            // ascending-source slot order is well defined.
+            order.clear();
+            order.extend(0..fan_in as u32);
+            order.sort_unstable_by_key(|&j| sources[base + j as usize]);
+            for (rank, &j) in order.iter().enumerate() {
+                slots_by_source[base + rank] = (base + j as usize) as u32;
+            }
+        }
+
         Self {
             inputs,
             outputs,
@@ -86,7 +169,14 @@ impl SparseLayer {
             clamp,
             weights,
             sources,
-            out_edges,
+            edge_out,
+            edge_slot,
+            edge_weights,
+            edge_of_slot,
+            offsets,
+            src_masks,
+            words_per_row,
+            slots_by_source,
         }
     }
 
@@ -110,6 +200,18 @@ impl SparseLayer {
         self.weights.len()
     }
 
+    /// Number of outgoing connections of input `i` (its CSR bucket
+    /// length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    pub fn fan_out(&self, input: u32) -> usize {
+        let i = input as usize;
+        assert!(i < self.inputs, "input out of range");
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
     /// Accumulates `scores[o] += w(i, o)` for every present connection
     /// from each active input `i`. Returns the number of integer
     /// operations performed.
@@ -122,11 +224,12 @@ impl SparseLayer {
         assert_eq!(scores.len(), self.outputs, "score buffer length mismatch");
         let mut ops = 0;
         for &i in active_inputs {
-            let edges = &self.out_edges[i as usize];
-            for &(o, slot) in edges {
-                scores[o as usize] += self.weights[slot as usize] as i32;
+            let lo = self.offsets[i as usize] as usize;
+            let hi = self.offsets[i as usize + 1] as usize;
+            for (&o, &w) in self.edge_out[lo..hi].iter().zip(&self.edge_weights[lo..hi]) {
+                scores[o as usize] += w as i32;
             }
-            ops += edges.len();
+            ops += hi - lo;
         }
         ops
     }
@@ -134,8 +237,13 @@ impl SparseLayer {
     /// Applies the paper's Eq.-1 Hebbian update for one active output:
     /// every incoming weight from an active input is incremented by
     /// `pot` (potentiation), every incoming weight from an inactive
-    /// input decremented by `dep` (depression), with clamping. Returns
-    /// integer ops performed.
+    /// input decremented by `dep` (depression), with saturating
+    /// arithmetic and clamping. Returns integer ops performed.
+    ///
+    /// Implemented as a word-at-a-time walk over this output's source
+    /// mask against the active-input words: each connection costs one
+    /// bit test from two already-loaded words instead of a
+    /// random-access [`BitSet::contains`].
     ///
     /// Eq. 1 as printed is symmetric (`pot == dep`); asymmetric
     /// magnitudes (LTP > LTD, as in biological synapses) are required
@@ -156,16 +264,27 @@ impl SparseLayer {
     ) -> usize {
         assert!((output as usize) < self.outputs, "output out of range");
         assert_eq!(active_inputs.len(), self.inputs, "bitset capacity mismatch");
-        let base = output as usize * self.fan_in;
-        for j in 0..self.fan_in {
-            let slot = base + j;
-            let src = self.sources[slot] as usize;
-            let delta = if active_inputs.contains(src) {
-                pot
-            } else {
-                -dep
-            };
-            self.weights[slot] = (self.weights[slot] + delta).clamp(-self.clamp, self.clamp);
+        let ltd = dep.saturating_neg();
+        let mask_base = output as usize * self.words_per_row;
+        let mut rank = output as usize * self.fan_in;
+        let active = active_inputs.words();
+        for (w, &aw) in active.iter().enumerate().take(self.words_per_row) {
+            let mut sw = self.src_masks[mask_base + w];
+            while sw != 0 {
+                let b = sw.trailing_zeros();
+                let slot = self.slots_by_source[rank] as usize;
+                rank += 1;
+                let delta = if aw >> b & 1 != 0 { pot } else { ltd };
+                let old = self.weights[slot];
+                let w = old.saturating_add(delta).clamp(-self.clamp, self.clamp);
+                // Saturated weights dominate in steady state; skipping
+                // the no-op store keeps their cache lines clean.
+                if w != old {
+                    self.weights[slot] = w;
+                    self.edge_weights[self.edge_of_slot[slot] as usize] = w;
+                }
+                sw &= sw - 1;
+            }
         }
         2 * self.fan_in
     }
@@ -181,14 +300,26 @@ impl SparseLayer {
     pub fn anti_update(&mut self, output: u32, active_inputs: &BitSet, step: i16) -> usize {
         assert!((output as usize) < self.outputs, "output out of range");
         assert_eq!(active_inputs.len(), self.inputs, "bitset capacity mismatch");
-        let base = output as usize * self.fan_in;
+        let mask_base = output as usize * self.words_per_row;
+        let mut rank = output as usize * self.fan_in;
         let mut ops = 0;
-        for j in 0..self.fan_in {
-            let slot = base + j;
-            let src = self.sources[slot] as usize;
-            if active_inputs.contains(src) {
-                self.weights[slot] = (self.weights[slot] - step).clamp(-self.clamp, self.clamp);
-                ops += 2;
+        let active = active_inputs.words();
+        for (w, &aw) in active.iter().enumerate().take(self.words_per_row) {
+            let mut sw = self.src_masks[mask_base + w];
+            while sw != 0 {
+                let b = sw.trailing_zeros();
+                let slot = self.slots_by_source[rank] as usize;
+                rank += 1;
+                if aw >> b & 1 != 0 {
+                    let old = self.weights[slot];
+                    let w = old.saturating_sub(step).clamp(-self.clamp, self.clamp);
+                    if w != old {
+                        self.weights[slot] = w;
+                        self.edge_weights[self.edge_of_slot[slot] as usize] = w;
+                    }
+                    ops += 2;
+                }
+                sw &= sw - 1;
             }
         }
         ops
@@ -198,6 +329,8 @@ impl SparseLayer {
     /// (slot `o * fan_in + j`). Connectivity is reproduced from the
     /// construction seed, so this is the layer's entire learned state;
     /// pair with [`SparseLayer::set_weights`] for snapshot/restore.
+    /// The slot layout is independent of the adjacency encoding, so
+    /// snapshots taken before the CSR refactor restore unchanged.
     pub fn weights(&self) -> &[i16] {
         &self.weights
     }
@@ -218,6 +351,9 @@ impl SparseLayer {
             return false;
         }
         self.weights.copy_from_slice(w);
+        for (mirror, &slot) in self.edge_weights.iter_mut().zip(&self.edge_slot) {
+            *mirror = self.weights[slot as usize];
+        }
         true
     }
 
@@ -228,6 +364,79 @@ impl SparseLayer {
         (0..self.fan_in)
             .find(|&j| self.sources[base + j] == input)
             .map(|j| self.weights[base + j])
+    }
+}
+
+/// Pre-optimization reference kernels, kept verbatim for the
+/// differential proptests (`crate::differential`): the jagged-walk
+/// forward and the per-connection-branch Eq.-1 update, operating on
+/// the same slot layout as the optimized layer.
+///
+/// The update references write only the canonical `weights` array and
+/// leave the `edge_weights` mirror stale — a layer driven through them
+/// must also be probed through [`forward_ref`], never the optimized
+/// `forward`.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::SparseLayer;
+    use crate::bitset::BitSet;
+
+    /// The old input-major forward: walk every active input's edge
+    /// list in identical order, loading each weight through the
+    /// canonical slot-ordered array (the random-access path the
+    /// `edge_weights` mirror replaced).
+    pub(crate) fn forward_ref(layer: &SparseLayer, active_inputs: &[u32], scores: &mut [i32]) {
+        assert_eq!(scores.len(), layer.outputs);
+        for &i in active_inputs {
+            let lo = layer.offsets[i as usize] as usize;
+            let hi = layer.offsets[i as usize + 1] as usize;
+            for (&o, &slot) in layer.edge_out[lo..hi].iter().zip(&layer.edge_slot[lo..hi]) {
+                scores[o as usize] += layer.weights[slot as usize] as i32;
+            }
+        }
+    }
+
+    /// The old Eq.-1 update: slot-order walk with a per-connection
+    /// `BitSet::contains` branch (plus the saturating-add bugfix, so
+    /// extreme clamps compare equal too).
+    pub(crate) fn hebbian_update_ref(
+        layer: &mut SparseLayer,
+        output: u32,
+        active_inputs: &BitSet,
+        pot: i16,
+        dep: i16,
+    ) {
+        let base = output as usize * layer.fan_in;
+        for j in 0..layer.fan_in {
+            let slot = base + j;
+            let src = layer.sources[slot] as usize;
+            let delta = if active_inputs.contains(src) {
+                pot
+            } else {
+                dep.saturating_neg()
+            };
+            layer.weights[slot] = layer.weights[slot]
+                .saturating_add(delta)
+                .clamp(-layer.clamp, layer.clamp);
+        }
+    }
+
+    /// The old anti-Hebbian update, per-connection branch form.
+    pub(crate) fn anti_update_ref(
+        layer: &mut SparseLayer,
+        output: u32,
+        active_inputs: &BitSet,
+        step: i16,
+    ) {
+        let base = output as usize * layer.fan_in;
+        for j in 0..layer.fan_in {
+            let slot = base + j;
+            if active_inputs.contains(layer.sources[slot] as usize) {
+                layer.weights[slot] = layer.weights[slot]
+                    .saturating_sub(step)
+                    .clamp(-layer.clamp, layer.clamp);
+            }
+        }
     }
 }
 
@@ -256,7 +465,23 @@ mod tests {
         let ops = l.forward(&[3], &mut scores);
         // Input 3's fan-out is roughly connectivity * outputs; ops must
         // equal the edges touched exactly.
-        assert_eq!(ops, l.out_edges[3].len());
+        assert_eq!(ops, l.fan_out(3));
+    }
+
+    #[test]
+    fn csr_buckets_partition_all_edges() {
+        let l = layer(64, 32, 0.25);
+        let total: usize = (0..64).map(|i| l.fan_out(i)).sum();
+        assert_eq!(total, l.param_count());
+        assert_eq!(l.offsets[0], 0);
+        assert_eq!(*l.offsets.last().unwrap() as usize, l.edge_out.len());
+        // The mirror and its inverse map agree with the canonical
+        // slot-ordered weights.
+        for e in 0..l.edge_slot.len() {
+            let slot = l.edge_slot[e] as usize;
+            assert_eq!(l.edge_of_slot[slot] as usize, e);
+            assert_eq!(l.edge_weights[e], l.weights[slot]);
+        }
     }
 
     #[test]
@@ -279,6 +504,36 @@ mod tests {
         }
         for i in 0..8 {
             assert_eq!(l.weight(i, 0).unwrap(), 64);
+        }
+    }
+
+    #[test]
+    fn update_saturates_at_extreme_clamp() {
+        // Regression: with `clamp` near `i16::MAX` the old
+        // `weights[slot] + delta` overflowed `i16` (panic in debug,
+        // wrap in release) before the clamp could apply.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = SparseLayer::new(8, 2, 1.0, i16::MAX, 0, &mut rng);
+        let active = BitSet::from_indices(8, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        for _ in 0..3 {
+            l.hebbian_update(0, &active, i16::MAX, 0);
+        }
+        for i in 0..8 {
+            assert_eq!(l.weight(i, 0).unwrap(), i16::MAX);
+        }
+        // And the depression/anti side saturates at the negative end.
+        let none = BitSet::new(8);
+        for _ in 0..3 {
+            l.hebbian_update(1, &none, 0, i16::MAX);
+        }
+        for i in 0..8 {
+            assert_eq!(l.weight(i, 1).unwrap(), -i16::MAX);
+        }
+        for _ in 0..3 {
+            l.anti_update(1, &active, i16::MAX);
+        }
+        for i in 0..8 {
+            assert_eq!(l.weight(i, 1).unwrap(), -i16::MAX);
         }
     }
 
@@ -319,5 +574,8 @@ mod tests {
         let b = layer(64, 64, 0.125);
         assert_eq!(a.sources, b.sources);
         assert_eq!(a.weights, b.weights);
+        assert_eq!(a.edge_out, b.edge_out);
+        assert_eq!(a.edge_slot, b.edge_slot);
+        assert_eq!(a.offsets, b.offsets);
     }
 }

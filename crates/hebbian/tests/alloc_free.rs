@@ -1,0 +1,73 @@
+//! Steady-state allocation accounting for the per-miss hot path.
+//!
+//! The kernel refactor's contract is that once the network's scratch
+//! buffers have warmed up, `train_step`, `infer`, and
+//! `infer_advance` perform **zero** heap allocation. A counting
+//! global allocator makes that a hard test instead of a code-review
+//! claim.
+//!
+//! Single `#[test]` in this file: the counter is process-global, and
+//! a concurrently running test could otherwise attribute its
+//! allocations to the window under measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hnp_hebbian::{HebbianConfig, HebbianNetwork};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY-free wrapper: defers entirely to `System`, adding one
+// relaxed counter bump per allocation/reallocation.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: Counting = Counting;
+
+#[test]
+fn steady_state_kernels_do_not_allocate() {
+    let cfg = HebbianConfig::paper_table2();
+    let outputs = cfg.outputs;
+    let mut net = HebbianNetwork::new(cfg);
+
+    // Warm-up: grow every scratch buffer to its high-water mark across
+    // all three entry points (train, infer, infer_advance).
+    for i in 0..64u32 {
+        let pattern = [i % 61, (i * 7) % 61 + 61];
+        net.train_step(&pattern, (i as usize + 1) % outputs);
+        net.infer(&pattern, (i as usize + 1) % outputs);
+        net.infer_advance(&pattern, (i as usize + 1) % outputs);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..200u32 {
+        let pattern = [i % 61, (i * 7) % 61 + 61];
+        net.train_step(&pattern, (i as usize + 1) % outputs);
+        net.infer(&pattern, (i as usize + 1) % outputs);
+        net.infer_advance(&pattern, (i as usize + 1) % outputs);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "hot path allocated {} times across 600 steady-state calls",
+        after - before
+    );
+}

@@ -110,7 +110,7 @@ pub const INTEGER_PURE_CRATES: &[&str] = &["hnp-hebbian"];
 /// The layered architecture (HNP02): a crate may depend only on
 /// crates of a strictly lower layer. Leaves first:
 /// `trace/nn/hebbian/lint/obs → memsim → core/baselines →
-/// systems/serve → bench/cli`. (`hnp-obs` is a leaf so every layer above it can emit
+/// systems/serve → bench → cli`. (`hnp-obs` is a leaf so every layer above it can emit
 /// events; `hnp-hebbian` shares its layer and therefore stays
 /// observer-free — its stats surface through getters instead.)
 pub const LAYERS: &[(&str, u32)] = &[
@@ -125,7 +125,9 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("hnp-systems", 3),
     ("hnp-serve", 3),
     ("hnp-bench", 4),
-    ("hnp-cli", 4),
+    // `hnpctl bench` drives the hnp-bench harnesses, so the CLI sits
+    // one layer above them.
+    ("hnp-cli", 5),
 ];
 
 fn layer_of(name: &str) -> Option<u32> {
@@ -294,7 +296,7 @@ pub fn check_manifest(krate: &CrateInfo, out: &mut Vec<Finding>) {
                 file: manifest.clone(),
                 line: 0,
                 message: format!(
-                    "back-edge: `{}` (layer {me}) declares {kind} `{dep}` (layer {them}); the DAG is trace/nn/hebbian/lint/obs → memsim → core/baselines → systems → bench/cli",
+                    "back-edge: `{}` (layer {me}) declares {kind} `{dep}` (layer {them}); the DAG is trace/nn/hebbian/lint/obs → memsim → core/baselines → systems/serve → bench → cli",
                     krate.name
                 ),
                 suppressed: false,

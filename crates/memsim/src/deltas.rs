@@ -79,8 +79,16 @@ impl DeltaVocab {
 /// the additional candidates at each step branch off the pre-step
 /// base. An out-of-vocabulary top-1 stops the walk (the model declines
 /// to guess further).
+///
+/// Pages are deduplicated across the *whole* rollout, preserving
+/// first-emission order: a multi-step walk over a short cycle (or an
+/// alternate that lands on a later top-1 page) would otherwise issue
+/// the same prefetch several times, inflating issued-line counts and
+/// wasting queue slots downstream. `BTreeSet` keeps the walk
+/// deterministic (HNP01).
 pub fn pages_from_rollout(vocab: &DeltaVocab, base: u64, rollout: &[Vec<usize>]) -> Vec<u64> {
     let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
     let mut acc = base as i64;
     for step in rollout {
         let Some(&top) = step.first() else { break };
@@ -88,13 +96,13 @@ pub fn pages_from_rollout(vocab: &DeltaVocab, base: u64, rollout: &[Vec<usize>])
             break;
         };
         let next = acc + d;
-        if next >= 0 {
+        if next >= 0 && seen.insert(next as u64) {
             out.push(next as u64);
         }
         for &alt in step.iter().skip(1) {
             if let Some(da) = vocab.delta_of(alt) {
                 let p = acc + da;
-                if p >= 0 && p != next {
+                if p >= 0 && seen.insert(p as u64) {
                     out.push(p as u64);
                 }
             }
@@ -239,6 +247,45 @@ mod tests {
         h.push(2);
         h.clear();
         assert_eq!(h.last_page(), None);
+    }
+
+    #[test]
+    fn rollout_walks_and_branches() {
+        let v = DeltaVocab::new(8);
+        // Step 1: top +2 (page 102), alt +5 (page 105).
+        // Step 2 (from 102): top +3 (page 105 — already emitted), alt -1 (101).
+        let rollout = vec![
+            vec![v.token_of(2), v.token_of(5)],
+            vec![v.token_of(3), v.token_of(-1)],
+        ];
+        assert_eq!(pages_from_rollout(&v, 100, &rollout), vec![102, 105, 101]);
+    }
+
+    #[test]
+    fn rollout_dedups_pages_across_steps() {
+        // Regression: dedup used to compare alternates only against the
+        // current step's top-1 page, so a rollout cycling over a short
+        // loop (+1, -1, +1, ...) re-emitted earlier pages and the
+        // prefetch queue issued duplicate fetches.
+        let v = DeltaVocab::new(4);
+        let rollout = vec![
+            vec![v.token_of(1)],                 // 101
+            vec![v.token_of(-1)],                // 100 — base revisited, new emission
+            vec![v.token_of(1)],                 // 101 again: suppressed
+            vec![v.token_of(2), v.token_of(-1)], // 103; alt 100 suppressed
+        ];
+        assert_eq!(pages_from_rollout(&v, 100, &rollout), vec![101, 100, 103]);
+    }
+
+    #[test]
+    fn rollout_stops_at_oov_top1() {
+        let v = DeltaVocab::new(4);
+        let rollout = vec![
+            vec![v.token_of(1)],
+            vec![v.oov(), v.token_of(2)], // Model declines; alts ignored too.
+            vec![v.token_of(1)],
+        ];
+        assert_eq!(pages_from_rollout(&v, 50, &rollout), vec![51]);
     }
 
     #[test]
